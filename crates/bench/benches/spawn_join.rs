@@ -1,0 +1,54 @@
+//! Microbenchmark: cost of one spawn+inlined-join (the Table II fast
+//! path) under every join strategy, plus the serial call baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wool_core::{
+    Fork, LockedBase, Pool, PoolConfig, Strategy, SyncOnTask, TaskSpecific, WoolFull,
+};
+
+fn fib<C: Fork>(c: &mut C, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = c.fork(|c| fib(c, n - 1), |c| fib(c, n - 2));
+    a + b
+}
+
+fn fib_serial(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_serial(n - 1) + fib_serial(n - 2)
+    }
+}
+
+fn bench_strategy<S: Strategy>(c: &mut Criterion, group: &str, force_public: bool) {
+    let cfg = PoolConfig::with_workers(1).force_publish_all(force_public);
+    let mut pool: Pool<S> = Pool::with_config(cfg);
+    let label = if force_public {
+        format!("{}+all-public", S::NAME)
+    } else {
+        S::NAME.to_string()
+    };
+    c.bench_with_input(BenchmarkId::new(group, label), &20u64, |b, &n| {
+        b.iter(|| pool.run(|h| fib(h, std::hint::black_box(n))));
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("spawn_join/serial-call", |b| {
+        b.iter(|| fib_serial(std::hint::black_box(20)))
+    });
+    bench_strategy::<LockedBase>(c, "spawn_join", false);
+    bench_strategy::<SyncOnTask>(c, "spawn_join", false);
+    bench_strategy::<TaskSpecific>(c, "spawn_join", false);
+    bench_strategy::<WoolFull>(c, "spawn_join", true);
+    bench_strategy::<WoolFull>(c, "spawn_join", false);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(group);

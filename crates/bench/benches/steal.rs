@@ -1,0 +1,27 @@
+//! Microbenchmark: load-balancing cost under the Figure 4 steal
+//! protocols — small task trees with busy leaves on 2 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wool_core::{Pool, StealLockBase, StealLockPeek, StealLockTrylock, Strategy, TaskSpecific};
+use workloads::stress::tree;
+
+fn bench_steal<S: Strategy>(c: &mut Criterion, label: &str) {
+    let mut pool: Pool<S> = Pool::new(2);
+    c.bench_with_input(BenchmarkId::new("steal", label), &(), |b, _| {
+        b.iter(|| pool.run(|h| tree(h, 6, std::hint::black_box(256))));
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_steal::<StealLockBase>(c, "base");
+    bench_steal::<StealLockPeek>(c, "peek");
+    bench_steal::<StealLockTrylock>(c, "trylock");
+    bench_steal::<TaskSpecific>(c, "nolock");
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(15);
+    targets = benches
+}
+criterion_main!(group);

@@ -1,0 +1,13 @@
+//! Runs the private-task parameter ablation sweep.
+use ws_bench::experiments::ablation;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = ablation::run(&args);
+    ablation::render(&result).print();
+    ablation::render_join_policy(&result).print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,127 @@
+//! Extended workload suite: the non-paper programs (nqueens, sorts,
+//! Strassen, heat, knapsack) timed on every scheduler — a broader
+//! version of Figure 5 over irregular and data-parallel programs.
+
+use std::time::Instant;
+
+use workloads::extra::heat::{simulate_par, Grid};
+use workloads::extra::knapsack::{knapsack_par, Instance};
+use workloads::extra::nqueens::nqueens_par;
+use workloads::extra::sort::{merge_sort, quick_sort, random_input};
+use workloads::extra::strassen::{strassen, Sq};
+use workloads::mm::Matrix;
+use ws_bench::report::Table;
+use ws_bench::{BenchArgs, System, SystemKind};
+use wool_core::{Fork, Job};
+
+/// Which extended program to run.
+#[derive(Debug, Clone, Copy)]
+enum Prog {
+    Nqueens(usize),
+    MergeSort(usize),
+    QuickSort(usize),
+    Strassen(usize),
+    Heat(usize, usize),
+    Knapsack(usize),
+}
+
+impl Prog {
+    fn name(self) -> String {
+        match self {
+            Prog::Nqueens(n) => format!("nqueens({n})"),
+            Prog::MergeSort(n) => format!("mergesort({n})"),
+            Prog::QuickSort(n) => format!("quicksort({n})"),
+            Prog::Strassen(n) => format!("strassen({n})"),
+            Prog::Heat(n, t) => format!("heat({n},{t})"),
+            Prog::Knapsack(n) => format!("knapsack({n})"),
+        }
+    }
+}
+
+struct ProgJob(Prog);
+
+impl Job<f64> for ProgJob {
+    fn call<C: Fork>(self, ctx: &mut C) -> f64 {
+        match self.0 {
+            Prog::Nqueens(n) => nqueens_par(ctx, n, n) as f64,
+            Prog::MergeSort(n) => {
+                let mut xs = random_input(n, 42);
+                let mut scratch = vec![0; n];
+                merge_sort(ctx, &mut xs, &mut scratch);
+                xs[n / 2] as f64 % 1e9
+            }
+            Prog::QuickSort(n) => {
+                let mut xs = random_input(n, 43);
+                quick_sort(ctx, &mut xs);
+                xs[n / 2] as f64 % 1e9
+            }
+            Prog::Strassen(n) => {
+                let a = Sq::from_matrix(&Matrix::random(n, 1));
+                let b = Sq::from_matrix(&Matrix::random(n, 2));
+                let c = strassen(ctx, &a, &b);
+                c.at(0, 0)
+            }
+            Prog::Heat(n, steps) => {
+                let g = Grid::hot_edge(n, n);
+                simulate_par(ctx, g, steps).checksum()
+            }
+            Prog::Knapsack(n) => {
+                let inst = Instance::random(n, 7);
+                knapsack_par(ctx, &inst, 16) as f64
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let progs = [
+        Prog::Nqueens(11),
+        Prog::MergeSort(1 << 20),
+        Prog::QuickSort(1 << 20),
+        Prog::Strassen(256),
+        Prog::Heat(256, 64),
+        Prog::Knapsack(40),
+    ];
+    let systems = [
+        SystemKind::Serial,
+        SystemKind::Wool,
+        SystemKind::TbbLike,
+        SystemKind::CilkLike,
+        SystemKind::OmpLike,
+        SystemKind::Central,
+    ];
+
+    let mut header = vec!["program".to_string()];
+    for k in systems {
+        header.push(k.name().to_string());
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        &format!("Extended suite, {} workers (ms, best of 2)", args.workers),
+        &hdr,
+    );
+
+    for prog in progs {
+        eprintln!("[extended] {}", prog.name());
+        let mut cells = vec![prog.name()];
+        let mut reference: Option<f64> = None;
+        for kind in systems {
+            let mut sys = System::create(kind, args.workers);
+            let mut best = f64::INFINITY;
+            let mut check = 0.0;
+            for _ in 0..2 {
+                let t0 = Instant::now();
+                check = sys.run_job(ProgJob(prog));
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            match reference {
+                None => reference = Some(check),
+                Some(r) => assert_eq!(r, check, "{} on {}", prog.name(), kind.name()),
+            }
+            cells.push(format!("{:.1}", best * 1e3));
+        }
+        table.row(cells);
+    }
+    table.print();
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 1 (fib and stress headline speedups).
+use ws_bench::experiments::fig1;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = fig1::run(&args);
+    let (left, right) = fig1::render(&result);
+    left.print();
+    right.print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4 (steal implementation comparison).
+use ws_bench::experiments::fig4;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = fig4::run(&args);
+    for t in fig4::render(&result) {
+        t.print();
+    }
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5 (application speedups on all systems).
+use ws_bench::experiments::fig5;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = fig5::run(&args);
+    for t in fig5::render(&result) {
+        t.print();
+    }
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6 (CPU-time breakdown).
+use ws_bench::experiments::fig6;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = fig6::run(&args);
+    for t in fig6::render(&result) {
+        t.print();
+    }
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

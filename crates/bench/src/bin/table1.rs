@@ -1,0 +1,12 @@
+//! Regenerates Table I (workload characteristics).
+use ws_bench::experiments::table1;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = table1::run(&args);
+    table1::render(&result).print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table II (optimizing inlined tasks).
+use ws_bench::experiments::table2;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = table2::run(&args);
+    table2::render(&result).print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

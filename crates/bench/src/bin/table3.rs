@@ -1,0 +1,12 @@
+//! Regenerates Table III (costs of inlined and stolen tasks).
+use ws_bench::experiments::table3;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = table3::run(&args);
+    table3::render(&result).print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table IV (steal-cost model vs measured speedups).
+use ws_bench::experiments::table4;
+use ws_bench::{dump_json, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let result = table4::run(&args);
+    table4::render(&result).print();
+    if let Some(path) = &args.json {
+        dump_json(path, &result);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal shared argument parsing for the experiment binaries.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --workers N     maximum worker count to sweep to  (default: 4)
+//! --scale F       repetition scale factor vs the paper (default: 0.01)
+//! --paper         full paper-sized parameters (scale = 1.0)
+//! --quick         tiny smoke-test parameters (scale = 0.001)
+//! --json PATH     also dump machine-readable results to PATH
+//! ```
+//!
+//! The paper's repetition counts target roughly one second per workload
+//! on a 2009 8-core Opteron; `--scale` shrinks them proportionally so a
+//! full table regenerates in minutes on a small host.
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Maximum worker count to sweep to.
+    pub workers: usize,
+    /// Repetition scale factor relative to the paper's counts.
+    pub scale: f64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            workers: 4,
+            scale: 0.01,
+            json: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--workers" => {
+                    out.workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--workers needs a number"));
+                }
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                }
+                "--paper" => out.scale = 1.0,
+                "--quick" => out.scale = 0.001,
+                "--json" => {
+                    out.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument: {other}")),
+            }
+        }
+        out
+    }
+
+    /// Worker counts to sweep: 1, 2, 4, ... up to `workers`.
+    pub fn worker_sweep(&self) -> Vec<usize> {
+        let mut v = vec![1usize];
+        let mut p = 2;
+        while p <= self.workers {
+            v.push(p);
+            p *= 2;
+        }
+        if *v.last().unwrap() != self.workers && self.workers > 1 {
+            v.push(self.workers);
+        }
+        v
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--workers N] [--scale F | --paper | --quick] [--json PATH]"
+    );
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> BenchArgs {
+        BenchArgs::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.workers, 4);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse("--workers 8 --scale 0.5 --json out.json");
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn paper_and_quick() {
+        assert_eq!(parse("--paper").scale, 1.0);
+        assert_eq!(parse("--quick").scale, 0.001);
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two_plus_max() {
+        assert_eq!(parse("--workers 8").worker_sweep(), vec![1, 2, 4, 8]);
+        assert_eq!(parse("--workers 6").worker_sweep(), vec![1, 2, 4, 6]);
+        assert_eq!(parse("--workers 1").worker_sweep(), vec![1]);
+    }
+}

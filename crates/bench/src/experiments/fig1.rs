@@ -1,0 +1,120 @@
+//! Figure 1 — *Absolute speedup of fib(42) with no cutoff and relative
+//! speedup of stress(4096, 3, 128K) on Wool, Cilk++, TBB and OpenMP.*
+//!
+//! Left panel: fib with no cutoff, speedup relative to the **serial**
+//! program (absolute speedup). Right panel: stress with 4096-iteration
+//! leaves, tree height 3, 128K repetitions — speedup relative to the
+//! same system's one-worker time (relative speedup), which is how the
+//! paper plots it.
+
+use serde::Serialize;
+use workloads::{WorkloadKind, WorkloadSpec};
+
+use crate::cli::BenchArgs;
+use crate::measure::measure_job;
+use crate::report::{fmt_sig, Table};
+use crate::system::{System, SystemKind};
+
+/// One speedup series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// System name.
+    pub system: String,
+    /// `(workers, speedup)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Result {
+    /// fib argument used.
+    pub fib_n: u64,
+    /// Absolute-speedup series for fib.
+    pub fib: Vec<Series>,
+    /// Relative-speedup series for stress.
+    pub stress: Vec<Series>,
+}
+
+/// Runs the experiment.
+pub fn run(args: &BenchArgs) -> Result {
+    let fib_n = super::table2::fib_n_for_scale(args.scale);
+    let fib_spec = WorkloadSpec {
+        kind: WorkloadKind::Fib,
+        p1: fib_n as usize,
+        p2: 0,
+        reps: 1,
+    };
+    let stress_spec = WorkloadSpec {
+        kind: WorkloadKind::Stress,
+        p1: 3,
+        p2: 4096,
+        reps: ((131_072.0 * args.scale) as u64).max(16),
+    };
+
+    let mut serial = System::create(SystemKind::Serial, 1);
+    let fib_ts = measure_job(&mut serial, &fib_spec, 2).seconds;
+
+    let sweep = args.worker_sweep();
+    let mut fib_series = Vec::new();
+    let mut stress_series = Vec::new();
+    for kind in SystemKind::PAPER_SYSTEMS {
+        eprintln!("[fig1] {}", kind.name());
+        let mut fib_points = Vec::new();
+        let mut stress_points = Vec::new();
+        let mut stress_t1 = f64::NAN;
+        for &p in &sweep {
+            let mut sys = System::create(kind, p);
+            let tf = measure_job(&mut sys, &fib_spec, 1).seconds;
+            fib_points.push((p, fib_ts / tf));
+            let ts = measure_job(&mut sys, &stress_spec, 1).seconds;
+            if p == 1 {
+                stress_t1 = ts;
+            }
+            stress_points.push((p, stress_t1 / ts));
+        }
+        fib_series.push(Series {
+            system: kind.name().to_string(),
+            points: fib_points,
+        });
+        stress_series.push(Series {
+            system: kind.name().to_string(),
+            points: stress_points,
+        });
+    }
+    Result {
+        fib_n,
+        fib: fib_series,
+        stress: stress_series,
+    }
+}
+
+/// Renders both panels as tables (one row per system, one column per
+/// worker count).
+pub fn render(r: &Result) -> (Table, Table) {
+    let render_panel = |title: &str, series: &[Series]| {
+        let mut header = vec!["System".to_string()];
+        for &(p, _) in &series[0].points {
+            header.push(format!("p={p}"));
+        }
+        let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(title, &hdr);
+        for s in series {
+            let mut cells = vec![s.system.clone()];
+            for &(_, v) in &s.points {
+                cells.push(fmt_sig(v));
+            }
+            t.row(cells);
+        }
+        t
+    };
+    (
+        render_panel(
+            &format!("Figure 1 (left): fib({}) absolute speedup", r.fib_n),
+            &r.fib,
+        ),
+        render_panel(
+            "Figure 1 (right): stress(4096,3) relative speedup",
+            &r.stress,
+        ),
+    )
+}

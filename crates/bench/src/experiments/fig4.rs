@@ -1,0 +1,110 @@
+//! Figure 4 — *Different implementations of stealing.*
+//!
+//! The four steal-side implementations (§IV-C: base, peek, trylock,
+//! nolock) on the stress benchmark with 256-iteration leaves. The
+//! paper plots one panel per parallel-region size (heights 7–11 with
+//! repetitions 64K down to 4K) with worker count on the x-axis and
+//! relative speedup on the y-axis.
+
+use serde::Serialize;
+use workloads::{WorkloadKind, WorkloadSpec};
+
+use crate::cli::BenchArgs;
+use crate::measure::measure_job;
+use crate::report::{fmt_sig, Table};
+use crate::system::{System, SystemKind};
+
+/// One panel: a fixed region size, speedups per system and worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Tree height.
+    pub height: usize,
+    /// Repetitions.
+    pub reps: u64,
+    /// Series: `(system, [(workers, relative speedup)])`.
+    pub series: Vec<(String, Vec<(usize, f64)>)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Result {
+    /// Leaf iterations (paper: 256).
+    pub leaf_iters: usize,
+    /// Panels, small regions to large.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs the experiment.
+pub fn run(args: &BenchArgs) -> Result {
+    // Paper: heights 7..11 with reps shifted to 64K..4K.
+    let configs = [(7usize, 65536u64), (8, 32768), (9, 16384), (10, 8192), (11, 4096)];
+    let sweep = args.worker_sweep();
+    let mut panels = Vec::new();
+    for (height, base_reps) in configs {
+        let reps = ((base_reps as f64 * args.scale) as u64).max(8);
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Stress,
+            p1: height,
+            p2: 256,
+            reps,
+        };
+        eprintln!("[fig4] height={height} reps={reps}");
+        let mut series = Vec::new();
+        for kind in SystemKind::FIG4_LADDER {
+            let mut points = Vec::new();
+            let mut t1 = f64::NAN;
+            for &p in &sweep {
+                let mut sys = System::create(kind, p);
+                let t = measure_job(&mut sys, &spec, 1).seconds;
+                if p == 1 {
+                    t1 = t;
+                }
+                points.push((p, t1 / t));
+            }
+            let label = if kind == SystemKind::WoolTaskSpecific {
+                "nolock".to_string()
+            } else {
+                kind.name().trim_start_matches("steal:").to_string()
+            };
+            series.push((label, points));
+        }
+        panels.push(Panel {
+            height,
+            reps,
+            series,
+        });
+    }
+    Result {
+        leaf_iters: 256,
+        panels,
+    }
+}
+
+/// Renders one table per panel.
+pub fn render(r: &Result) -> Vec<Table> {
+    r.panels
+        .iter()
+        .map(|panel| {
+            let mut header = vec!["Steal impl".to_string()];
+            for &(p, _) in &panel.series[0].1 {
+                header.push(format!("p={p}"));
+            }
+            let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let mut t = Table::new(
+                &format!(
+                    "Figure 4: stress(256, h={}) x{} — relative speedup",
+                    panel.height, panel.reps
+                ),
+                &hdr,
+            );
+            for (name, points) in &panel.series {
+                let mut cells = vec![name.clone()];
+                for &(_, v) in points {
+                    cells.push(fmt_sig(v));
+                }
+                t.row(cells);
+            }
+            t
+        })
+        .collect()
+}

@@ -1,0 +1,105 @@
+//! Figure 5 — *Speedup of fine grained applications on Wool, Cilk++,
+//! TBB and OpenMP.*
+//!
+//! For cholesky, mm and ssf the paper plots **absolute** speedup
+//! (against the sequential program); for stress, speedup relative to
+//! single-processor Wool. One panel per workload row of Table I.
+
+use serde::Serialize;
+use workloads::{all_table1_specs, WorkloadKind, WorkloadSpec};
+
+use crate::cli::BenchArgs;
+use crate::measure::measure_job;
+use crate::report::{fmt_sig, Table};
+use crate::system::{System, SystemKind};
+
+/// One panel: a workload, speedups per system and worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Workload name.
+    pub workload: String,
+    /// Whether the baseline is the serial program (absolute) or
+    /// one-worker Wool (relative, stress only).
+    pub absolute: bool,
+    /// Series: `(system, [(workers, speedup)])`.
+    pub series: Vec<(String, Vec<(usize, f64)>)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Result {
+    /// Panels, one per Table I workload row measured.
+    pub panels: Vec<Panel>,
+}
+
+/// Runs the experiment over `specs` (pass `None` to use all 24 Table I
+/// rows — at small scales a subset keeps runtime reasonable).
+pub fn run_specs(args: &BenchArgs, specs: &[WorkloadSpec]) -> Result {
+    let sweep = args.worker_sweep();
+    let mut panels = Vec::new();
+    for spec in specs {
+        eprintln!("[fig5] {}", spec.name());
+        let absolute = spec.kind != WorkloadKind::Stress;
+        // Baseline time.
+        let base = if absolute {
+            let mut serial = System::create(SystemKind::Serial, 1);
+            measure_job(&mut serial, spec, 2).seconds
+        } else {
+            let mut wool1 = System::create(SystemKind::Wool, 1);
+            measure_job(&mut wool1, spec, 2).seconds
+        };
+
+        let mut series = Vec::new();
+        for kind in SystemKind::PAPER_SYSTEMS {
+            let mut points = Vec::new();
+            for &p in &sweep {
+                let mut sys = System::create(kind, p);
+                let t = measure_job(&mut sys, spec, 1).seconds;
+                points.push((p, base / t));
+            }
+            series.push((kind.name().to_string(), points));
+        }
+        panels.push(Panel {
+            workload: spec.name(),
+            absolute,
+            series,
+        });
+    }
+    Result { panels }
+}
+
+/// Runs over all Table I rows, reps scaled by `args.scale`.
+pub fn run(args: &BenchArgs) -> Result {
+    let specs: Vec<WorkloadSpec> = all_table1_specs()
+        .iter()
+        .map(|s| s.scale_reps(args.scale))
+        .collect();
+    run_specs(args, &specs)
+}
+
+/// Renders one table per panel.
+pub fn render(r: &Result) -> Vec<Table> {
+    r.panels
+        .iter()
+        .map(|panel| {
+            let mut header = vec!["System".to_string()];
+            for &(p, _) in &panel.series[0].1 {
+                header.push(format!("p={p}"));
+            }
+            let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let kind = if panel.absolute { "absolute" } else { "relative" };
+            let mut t = Table::new(
+                &format!("Figure 5: {} — {kind} speedup", panel.workload),
+                &hdr,
+            );
+            for (name, points) in &panel.series {
+                let mut cells = vec![name.clone()];
+                for &(_, v) in points {
+                    cells.push(fmt_sig(v));
+                }
+                t.row(cells);
+            }
+            t
+        })
+        .collect()
+}

@@ -1,0 +1,128 @@
+//! Figure 6 — *Breakdown of CPU time, selected workloads.*
+//!
+//! Instrumented Wool runs classify every worker's time into the paper's
+//! categories: NA (application), LA (application acquired through leap
+//! frogging), ST (stealing), LF (leap-frog overhead), with TR (startup/
+//! shutdown and untracked remainder) computed as region wall time times
+//! workers minus the tracked categories. Values are normalized to the
+//! single-worker NA time, as in the paper.
+
+use serde::Serialize;
+use wool_core::timebreak::Category;
+use wool_core::PoolConfig;
+use workloads::{WorkloadKind, WorkloadSpec};
+
+use crate::cli::BenchArgs;
+use crate::measure::measure_job;
+use crate::report::{fmt_sig, Table};
+use crate::system::{System, SystemKind};
+
+/// Breakdown at one worker count, normalized to 1-worker NA.
+#[derive(Debug, Clone, Serialize)]
+pub struct Bar {
+    /// Worker count.
+    pub workers: usize,
+    /// Normalized `[TR, NA, LA, ST, LF]`.
+    pub fractions: [f64; 5],
+}
+
+/// One workload's set of bars.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Workload name.
+    pub workload: String,
+    /// Bars per worker count.
+    pub bars: Vec<Bar>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Result {
+    /// Panels.
+    pub panels: Vec<Panel>,
+}
+
+/// The paper's Figure 6 workload selection, scaled.
+pub fn default_specs(scale: f64) -> Vec<WorkloadSpec> {
+    let s = |kind, p1, p2, reps: u64| WorkloadSpec {
+        kind,
+        p1,
+        p2,
+        reps: ((reps as f64 * scale) as u64).max(4),
+    };
+    vec![
+        s(WorkloadKind::Cholesky, 500, 2000, 1024),
+        s(WorkloadKind::Mm, 64, 0, 16384),
+        s(WorkloadKind::Ssf, 13, 0, 8192),
+        s(WorkloadKind::Stress, 8, 256, 65536),
+        s(WorkloadKind::Stress, 5, 4096, 32768),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(args: &BenchArgs) -> Result {
+    let specs = default_specs(args.scale);
+    let sweep = args.worker_sweep();
+    let mut panels = Vec::new();
+    for spec in &specs {
+        eprintln!("[fig6] {}", spec.name());
+        let mut bars = Vec::new();
+        let mut na1 = f64::NAN;
+        for &p in &sweep {
+            let cfg = PoolConfig::with_workers(p).instrument_time(true);
+            let mut sys = System::create_with(SystemKind::Wool, cfg);
+            let m = measure_job(&mut sys, spec, 1);
+            let report = sys.last_report().expect("instrumented wool run");
+            let na = report.breakdown.get(Category::Na) as f64;
+            let la = report.breakdown.get(Category::La) as f64;
+            let st = report.breakdown.get(Category::St) as f64;
+            let lf = report.breakdown.get(Category::Lf) as f64;
+            // TR: untracked remainder of (wall * workers).
+            let wall_total = report.wall_ticks as f64 * p as f64;
+            let tr = (wall_total - (na + la + st + lf)).max(0.0);
+            if p == 1 {
+                na1 = na.max(1.0);
+            }
+            bars.push(Bar {
+                workers: p,
+                fractions: [tr / na1, na / na1, la / na1, st / na1, lf / na1],
+            });
+            let _ = m;
+        }
+        panels.push(Panel {
+            workload: spec.name(),
+            bars,
+        });
+    }
+    Result { panels }
+}
+
+/// Renders one table per panel (rows = categories, columns = workers).
+pub fn render(r: &Result) -> Vec<Table> {
+    r.panels
+        .iter()
+        .map(|panel| {
+            let mut header = vec!["Category".to_string()];
+            for b in &panel.bars {
+                header.push(format!("p={}", b.workers));
+            }
+            let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let mut t = Table::new(
+                &format!(
+                    "Figure 6: {} — CPU time (normalized to 1-worker NA)",
+                    panel.workload
+                ),
+                &hdr,
+            );
+            let labels = ["TR", "NA", "LA", "ST", "LF"];
+            for (i, label) in labels.iter().enumerate() {
+                let mut cells = vec![label.to_string()];
+                for b in &panel.bars {
+                    cells.push(fmt_sig(b.fractions[i]));
+                }
+                t.row(cells);
+            }
+            t
+        })
+        .collect()
+}

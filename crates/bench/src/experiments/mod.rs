@@ -1,0 +1,13 @@
+//! One module per paper exhibit; the binaries under `src/bin/` are thin
+//! wrappers so the integration tests can run every experiment at tiny
+//! scale.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

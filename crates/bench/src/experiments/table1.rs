@@ -1,0 +1,129 @@
+//! Table I — *Workload characteristics.*
+//!
+//! For every workload row: the average parallelism under the 0-cycle
+//! and 2000-cycle overhead models (measured by the span instrumentation
+//! during a one-worker Wool run), the per-repetition sequential size
+//! `RepSz`, the task granularity `G_T = T_S / N_T`, and the
+//! load-balancing granularity `G_L(p) = T_S / N_M` for each processor
+//! count in the sweep (steals counted on Wool runs with `p` workers).
+
+use serde::Serialize;
+use wool_core::PoolConfig;
+use workloads::{all_table1_specs, WorkloadSpec};
+
+use crate::cli::BenchArgs;
+use crate::measure::measure_job;
+use crate::report::{fmt_kcycles, fmt_sig, Table};
+use crate::system::{System, SystemKind};
+
+/// One regenerated Table I row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload name with parameters.
+    pub workload: String,
+    /// Repetitions used.
+    pub reps: u64,
+    /// Parallelism with zero scheduling overhead.
+    pub parallelism0: f64,
+    /// Parallelism under the 2000-cycle model.
+    pub parallelism_2000: f64,
+    /// Sequential size of one repetition, kilocycles.
+    pub rep_kcycles: f64,
+    /// Task granularity `G_T`, cycles.
+    pub g_t: f64,
+    /// Load-balancing granularity per worker count, kilocycles
+    /// (`(workers, G_L)` pairs).
+    pub g_l: Vec<(usize, f64)>,
+}
+
+/// The full result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Result {
+    /// Worker counts measured for `G_L`.
+    pub sweep: Vec<usize>,
+    /// Rows in Table I order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment.
+pub fn run(args: &BenchArgs) -> Result {
+    let sweep: Vec<usize> = args.worker_sweep().into_iter().filter(|&p| p > 1).collect();
+    let specs: Vec<WorkloadSpec> = all_table1_specs()
+        .iter()
+        .map(|s| s.scale_reps(args.scale))
+        .collect();
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        eprintln!("[table1] {}", spec.name());
+        // Sequential time (T_S) without any task constructs.
+        let mut serial = System::create(SystemKind::Serial, 1);
+        let ms = measure_job(&mut serial, spec, 2);
+        let t_s_cycles = ms.cycles;
+
+        // Instrumented single-worker Wool run: work/span + N_T.
+        let cfg = PoolConfig::with_workers(1).instrument_span(true);
+        let mut wool1 = System::create_with(SystemKind::Wool, cfg);
+        let m1 = measure_job(&mut wool1, spec, 1);
+        assert_eq!(
+            ms.checksum, m1.checksum,
+            "serial and wool disagree on {}",
+            spec.name()
+        );
+        let report = wool1.last_report().expect("instrumented run");
+        let (par0, par_c) = (report.parallelism0(), report.parallelism_c());
+
+        let g_t = t_s_cycles / m1.spawns.max(1) as f64;
+        let rep_kcycles = t_s_cycles / spec.reps as f64 / 1e3;
+
+        // Steal counts at each worker count.
+        let mut g_l = Vec::new();
+        for &p in &sweep {
+            let mut wool_p = System::create(SystemKind::Wool, p);
+            let mp = measure_job(&mut wool_p, spec, 1);
+            let steals = mp.steals.max(1);
+            g_l.push((p, t_s_cycles / steals as f64 / 1e3));
+        }
+
+        rows.push(Row {
+            workload: spec.name(),
+            reps: spec.reps,
+            parallelism0: par0,
+            parallelism_2000: par_c,
+            rep_kcycles,
+            g_t,
+            g_l,
+        });
+    }
+    Result { sweep, rows }
+}
+
+/// Renders the paper-style table.
+pub fn render(r: &Result) -> Table {
+    let mut header: Vec<String> = vec![
+        "Workload".into(),
+        "Par(0)".into(),
+        "Par(2k)".into(),
+        "RepSz(kcyc)".into(),
+        "G_T(cyc)".into(),
+    ];
+    for p in &r.sweep {
+        header.push(format!("G_L({p})k"));
+    }
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Table I: workload characteristics", &hdr);
+    for row in &r.rows {
+        let mut cells = vec![
+            row.workload.clone(),
+            fmt_sig(row.parallelism0),
+            fmt_sig(row.parallelism_2000),
+            fmt_sig(row.rep_kcycles),
+            fmt_sig(row.g_t),
+        ];
+        for &(_, gl) in &row.g_l {
+            cells.push(fmt_kcycles(gl * 1e3));
+        }
+        t.row(cells);
+    }
+    t
+}

@@ -1,0 +1,129 @@
+//! The paper's simple steal-cost performance model (§IV-D2a, Table IV).
+//!
+//! For `p` processors the paper approximates the per-repetition cost as
+//!
+//! ```text
+//! cost(p) = C_p + (W + 2 * (S_p - (p - 1)) * C_2) / p
+//! ```
+//!
+//! where `C_2`/`C_p` are the measured steal costs for 2 and `p`
+//! processors (Table III), `W` is the sequential work per repetition
+//! (`RepSz`), and `S_p` the number of steals per repetition. The first
+//! `p - 1` steals distribute work (cost `C_p`, paid once); each further
+//! balancing steal costs `C_2` on both the thief and the joining victim
+//! (factor 2). Predicted speedup is `W / cost(p)`.
+
+use serde::Serialize;
+
+/// Inputs of the Table IV model for one system and processor count.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ModelInputs {
+    /// Sequential work per repetition, cycles (`RepSz`).
+    pub work: f64,
+    /// Steal cost with 2 processors, cycles (Table III column "2").
+    pub c2: f64,
+    /// Steal cost with `p` processors, cycles (Table III column `p`).
+    pub cp: f64,
+    /// Steals per repetition at `p` processors.
+    pub steals: f64,
+    /// Processor count.
+    pub p: usize,
+}
+
+/// Predicted speedup `W / cost(p)` under the paper's model.
+pub fn steal_cost_model_speedup(m: ModelInputs) -> f64 {
+    let p = m.p as f64;
+    let balancing = (m.steals - (p - 1.0)).max(0.0);
+    let cost = m.cp + (m.work + 2.0 * balancing * m.c2) / p;
+    if cost <= 0.0 {
+        0.0
+    } else {
+        m.work / cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduce the paper's own Table IV numbers from its published
+    /// inputs: W = 976k cycles (mm(64) RepSz), ~17 steals at p = 8,
+    /// Wool steal costs C_2 = 2200, C_8 = 10400 → model speedup 7.1.
+    #[test]
+    fn paper_wool_row() {
+        let m = ModelInputs {
+            work: 976_000.0,
+            c2: 2_200.0,
+            cp: 10_400.0,
+            steals: 976_000.0 / 58_000.0, // ~16.8 steals (G_L(8) = 58k)
+            p: 8,
+        };
+        let s = steal_cost_model_speedup(m);
+        assert!((s - 7.1).abs() < 0.2, "wool model speedup {s}");
+    }
+
+    /// Cilk++ row: C_2 = 31050, C_8 = 110400 → 3.2.
+    #[test]
+    fn paper_cilk_row() {
+        let m = ModelInputs {
+            work: 976_000.0,
+            c2: 31_050.0,
+            cp: 110_400.0,
+            steals: 976_000.0 / 58_000.0,
+            p: 8,
+        };
+        let s = steal_cost_model_speedup(m);
+        assert!((s - 3.2).abs() < 0.2, "cilk model speedup {s}");
+    }
+
+    /// TBB row: C_2 = 5800, C_8 = 30000 → 5.9.
+    #[test]
+    fn paper_tbb_row() {
+        let m = ModelInputs {
+            work: 976_000.0,
+            c2: 5_800.0,
+            cp: 30_000.0,
+            steals: 976_000.0 / 58_000.0,
+            p: 8,
+        };
+        let s = steal_cost_model_speedup(m);
+        assert!((s - 5.9).abs() < 0.2, "tbb model speedup {s}");
+    }
+
+    /// Wool at p = 2 and p = 4 (paper: 2.0 and 3.9).
+    #[test]
+    fn paper_wool_smaller_p() {
+        let w = 976_000.0;
+        let s2 = steal_cost_model_speedup(ModelInputs {
+            work: w,
+            c2: 2_200.0,
+            cp: 2_200.0,
+            steals: w / 915_000.0, // G_L(2) = 915k
+            p: 2,
+        });
+        assert!((s2 - 2.0).abs() < 0.1, "p=2: {s2}");
+        let s4 = steal_cost_model_speedup(ModelInputs {
+            work: w,
+            c2: 2_200.0,
+            cp: 5_600.0,
+            steals: w / 211_000.0, // G_L(4) = 211k
+            p: 4,
+        });
+        assert!((s4 - 3.9).abs() < 0.15, "p=4: {s4}");
+    }
+
+    #[test]
+    fn few_steals_clamp_to_zero_balancing() {
+        // steals < p-1: balancing term clamps at 0, cost = cp + W/p.
+        let m = ModelInputs {
+            work: 1_000_000.0,
+            c2: 1_000.0,
+            cp: 10_000.0,
+            steals: 1.0,
+            p: 8,
+        };
+        let s = steal_cost_model_speedup(m);
+        let expect = 1_000_000.0 / (10_000.0 + 1_000_000.0 / 8.0);
+        assert!((s - expect).abs() < 1e-9);
+    }
+}

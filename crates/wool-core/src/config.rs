@@ -1,0 +1,138 @@
+//! Pool configuration.
+
+use crate::span::DEFAULT_OVERHEAD_CYCLES;
+
+/// Configuration for a [`crate::Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Total number of workers, including the thread that calls
+    /// [`crate::Pool::run`]. Must be at least 1.
+    pub workers: usize,
+    /// Task-pool capacity per worker, in task descriptors. A spawn that
+    /// would overflow the pool executes its task eagerly instead
+    /// (counted in [`crate::Stats::overflow_inlines`]).
+    pub stack_capacity: usize,
+    /// §III-B trip wire: when a steal lands within this many descriptors
+    /// of the public boundary, the thief requests publication.
+    pub trip_distance: usize,
+    /// How many additional descriptors the owner publishes per request.
+    pub publish_batch: usize,
+    /// Force every spawned task public immediately (Table II row
+    /// "Private tasks (no private)": the machinery is present but never
+    /// leaves a task private).
+    pub force_publish_all: bool,
+    /// Enable work/span instrumentation for the next runs.
+    pub instrument_span: bool,
+    /// Enable Figure 6 CPU-time breakdown for the next runs.
+    pub instrument_time: bool,
+    /// The `C` of the realistic span model, in cycles.
+    pub span_overhead: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: default_workers(),
+            stack_capacity: 8192,
+            trip_distance: 2,
+            publish_batch: 4,
+            force_publish_all: false,
+            instrument_span: false,
+            instrument_time: false,
+            span_overhead: DEFAULT_OVERHEAD_CYCLES,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A configuration with `workers` workers and defaults otherwise.
+    pub fn with_workers(workers: usize) -> Self {
+        PoolConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style: sets the task-pool capacity.
+    pub fn stack_capacity(mut self, cap: usize) -> Self {
+        self.stack_capacity = cap;
+        self
+    }
+
+    /// Builder-style: enables span instrumentation.
+    pub fn instrument_span(mut self, on: bool) -> Self {
+        self.instrument_span = on;
+        self
+    }
+
+    /// Builder-style: enables time-breakdown instrumentation.
+    pub fn instrument_time(mut self, on: bool) -> Self {
+        self.instrument_time = on;
+        self
+    }
+
+    /// Builder-style: forces all tasks public.
+    pub fn force_publish_all(mut self, on: bool) -> Self {
+        self.force_publish_all = on;
+        self
+    }
+
+    /// Validates the configuration, normalizing degenerate values.
+    pub fn validated(mut self) -> Self {
+        assert!(self.workers >= 1, "a pool needs at least one worker");
+        assert!(
+            self.workers <= crate::slot::STOLEN_BASE.max(1 << 16),
+            "worker count does not fit the state encoding"
+        );
+        self.stack_capacity = self.stack_capacity.max(16);
+        self.publish_batch = self.publish_batch.max(1);
+        self.trip_distance = self.trip_distance.max(1);
+        self
+    }
+}
+
+/// Default worker count: available parallelism, capped for sanity.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = PoolConfig::default().validated();
+        assert!(c.workers >= 1);
+        assert!(c.stack_capacity >= 16);
+        assert!(c.publish_batch >= 1);
+        assert!(c.trip_distance >= 1);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = PoolConfig::with_workers(3)
+            .stack_capacity(64)
+            .instrument_span(true)
+            .instrument_time(true)
+            .force_publish_all(true)
+            .validated();
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.stack_capacity, 64);
+        assert!(c.instrument_span && c.instrument_time && c.force_publish_all);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = PoolConfig::with_workers(0).validated();
+    }
+
+    #[test]
+    fn degenerate_capacity_normalized() {
+        let c = PoolConfig::with_workers(1).stack_capacity(0).validated();
+        assert!(c.stack_capacity >= 16);
+    }
+}

@@ -1,0 +1,342 @@
+//! The worker pool: thread lifecycle, parallel regions, reports.
+//!
+//! A [`Pool`] owns `workers - 1` background threads plus the calling
+//! thread, which acts as worker 0 inside [`Pool::run`]. This mirrors the
+//! paper's benchmark structure: a program is a sequence of parallel
+//! regions separated by serial code on worker 0, with the other workers
+//! polling for stealable work for the whole duration of the program.
+//!
+//! After each `run`, a [`RunReport`] is available with the per-worker
+//! scheduler statistics, the measured work/span (Table I), and the
+//! CPU-time breakdown (Figure 6), depending on which instrumentation the
+//! [`PoolConfig`] enabled.
+
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::config::PoolConfig;
+use crate::cycles;
+use crate::exec::WorkerHandle;
+use crate::stats::Stats;
+use crate::strategy::{Strategy, WoolFull};
+use crate::timebreak::{Category, TimeBreakdown};
+use crate::worker::{Worker, WorkerReport};
+
+/// Shared, strategy-independent pool state.
+pub(crate) struct PoolInner {
+    /// All workers; index 0 is driven by the `run` caller.
+    pub workers: Box<[Worker]>,
+    /// Immutable configuration.
+    pub cfg: PoolConfig,
+    /// True while a parallel region is executing.
+    pub active: AtomicBool,
+    /// Set once at drop; background threads exit.
+    pub shutdown: AtomicBool,
+    /// Region counter; bumped by every `run`.
+    pub epoch: AtomicU64,
+    /// Epoch of the most recently *finished* region; tells background
+    /// workers which epoch they should publish a report for.
+    pub completed: AtomicU64,
+}
+
+/// Everything measured during one [`Pool::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of workers in the pool.
+    pub workers: usize,
+    /// Wall-clock duration of the region, in cycle ticks.
+    pub wall_ticks: u64,
+    /// Per-worker scheduler statistics (index 0 = the run caller).
+    pub per_worker: Vec<Stats>,
+    /// Sum of `per_worker`.
+    pub total: Stats,
+    /// Total measured work `T_1` in cycles (0 unless span-instrumented).
+    pub work: u64,
+    /// Span with zero scheduling overhead (`T_inf`, Table I column "0").
+    pub span0: u64,
+    /// Span under the realistic overhead model (Table I column "2000").
+    pub span_c: u64,
+    /// Merged CPU-time breakdown (zeros unless time-instrumented).
+    pub breakdown: TimeBreakdown,
+    /// Per-worker CPU-time breakdowns.
+    pub per_worker_breakdown: Vec<TimeBreakdown>,
+}
+
+impl RunReport {
+    /// Parallelism `T_1 / T_inf` in the zero-overhead model.
+    pub fn parallelism0(&self) -> f64 {
+        if self.span0 == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span0 as f64
+        }
+    }
+
+    /// Parallelism under the realistic overhead model.
+    pub fn parallelism_c(&self) -> f64 {
+        if self.span_c == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.span_c as f64
+        }
+    }
+}
+
+/// A work-stealing pool running the direct task stack scheduler with
+/// strategy `S` (default: the full Wool configuration).
+pub struct Pool<S: Strategy = WoolFull> {
+    inner: Arc<PoolInner>,
+    threads: Vec<JoinHandle<()>>,
+    last_report: Option<RunReport>,
+    _strategy: PhantomData<S>,
+}
+
+impl<S: Strategy> Pool<S> {
+    /// Creates a pool with the default configuration.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(PoolConfig::with_workers(workers))
+    }
+
+    /// Creates a pool from an explicit configuration.
+    pub fn with_config(cfg: PoolConfig) -> Self {
+        let cfg = cfg.validated();
+        let p = cfg.workers;
+        let workers: Box<[Worker]> = (0..p).map(|i| Worker::new(i, cfg.stack_capacity)).collect();
+        let inner = Arc::new(PoolInner {
+            workers,
+            cfg,
+            active: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let threads = (1..p)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wool-{}-{}", S::NAME, i))
+                    .spawn(move || background_loop::<S>(inner, i))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Pool {
+            inner,
+            threads,
+            last_report: None,
+            _strategy: PhantomData,
+        }
+    }
+
+    /// Number of workers (including the `run` caller).
+    pub fn workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// The strategy name (paper series label).
+    pub fn strategy_name(&self) -> &'static str {
+        S::NAME
+    }
+
+    /// Runs `f` as the root task of a parallel region. The calling
+    /// thread becomes worker 0; background workers steal from it (and
+    /// from each other) until the root returns.
+    ///
+    /// Any panic raised inside the region is propagated after the
+    /// region has quiesced.
+    pub fn run<R, F>(&mut self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce(&mut WorkerHandle<S>) -> R + Send,
+    {
+        let inner = &*self.inner;
+        let epoch = inner.epoch.fetch_add(1, Relaxed) + 1;
+        let cfg = &inner.cfg;
+
+        // Initialize worker 0 for the region. SAFETY: we hold `&mut
+        // self`, so no other `run` is live; background workers never
+        // touch worker 0's owner state.
+        let w0 = &inner.workers[0];
+        unsafe {
+            let own = &mut *w0.own.get();
+            debug_assert_eq!(own.top, 0, "task stack must be quiescent between runs");
+            own.stats = Stats::default();
+            own.span.reset(cfg.instrument_span, cfg.span_overhead);
+            own.tb.reset(cfg.instrument_time, Category::Na);
+            own.seen_epoch = epoch;
+        }
+        debug_assert_eq!(w0.bot.load(Relaxed), 0);
+        // `n_public` may be left above the (empty) stack when the last
+        // public task of the previous region was stolen, or under
+        // force-publish; re-arm it for the fresh stack.
+        w0.n_public.store(0, Relaxed);
+        w0.publish_request.store(false, Relaxed);
+
+        let t0 = cycles::now();
+        inner.active.store(true, Release);
+        for t in &self.threads {
+            t.thread().unpark();
+        }
+
+        // SAFETY: the pool outlives the handle; this thread is the
+        // unique worker 0 for the duration of the region.
+        let mut handle = unsafe { WorkerHandle::<S>::new(inner, 0) };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut handle)));
+
+        inner.active.store(false, Release);
+        inner.completed.store(epoch, Release);
+        let wall = cycles::now().wrapping_sub(t0);
+
+        // Worker 0's report.
+        let (w0_stats, w0_work, w0_span0, w0_span_c, w0_tb) = unsafe {
+            let own = &mut *w0.own.get();
+            let (work, span0, span_c) = own.span.finish();
+            let tb = own.tb.finish();
+            (own.stats, work, span0, span_c, tb)
+        };
+
+        // Collect background workers' reports for this epoch.
+        let p = inner.workers.len();
+        let mut per_worker = Vec::with_capacity(p);
+        let mut per_worker_breakdown = Vec::with_capacity(p);
+        per_worker.push(w0_stats);
+        per_worker_breakdown.push(w0_tb);
+        let mut work = w0_work;
+        for i in 1..p {
+            let w = &inner.workers[i];
+            let mut spins = 0u32;
+            while w.report_epoch.load(Acquire) != epoch {
+                spins += 1;
+                if spins < 256 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            // SAFETY: the Acquire above pairs with the worker's Release
+            // publish; the worker will not write this epoch's report
+            // again.
+            let report: WorkerReport = unsafe { *w.report.get() };
+            work += report.work;
+            per_worker.push(report.stats);
+            per_worker_breakdown.push(report.breakdown);
+        }
+        let total: Stats = per_worker.iter().copied().sum();
+        let mut breakdown = TimeBreakdown::default();
+        for b in &per_worker_breakdown {
+            breakdown.merge(b);
+        }
+        self.last_report = Some(RunReport {
+            workers: p,
+            wall_ticks: wall,
+            per_worker,
+            total,
+            work,
+            span0: w0_span0,
+            span_c: w0_span_c,
+            breakdown,
+            per_worker_breakdown,
+        });
+
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// The report of the most recent [`run`](Pool::run), if any.
+    pub fn last_report(&self) -> Option<&RunReport> {
+        self.last_report.as_ref()
+    }
+}
+
+impl<S: Strategy> Drop for Pool<S> {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Release);
+        for t in &self.threads {
+            t.thread().unpark();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Main loop of a background worker.
+fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
+    // SAFETY: the pool (via Arc) outlives the loop; this thread is the
+    // unique owner of worker `idx`.
+    let mut handle = unsafe { WorkerHandle::<S>::new(&inner, idx) };
+    let wkr = &inner.workers[idx];
+    let cfg = &inner.cfg;
+    let mut idle = 0u32;
+
+    loop {
+        if inner.shutdown.load(Acquire) {
+            break;
+        }
+        if inner.active.load(Acquire) {
+            let epoch = inner.epoch.load(Acquire);
+            // SAFETY: owner-only state, this is the owning thread.
+            unsafe {
+                let own = handle.own();
+                if own.seen_epoch != epoch {
+                    own.seen_epoch = epoch;
+                    own.stats = Stats::default();
+                    own.span.reset(cfg.instrument_span, cfg.span_overhead);
+                    own.tb.reset(cfg.instrument_time, Category::St);
+                }
+            }
+            // SAFETY: this thread owns worker `idx`.
+            let got = unsafe { handle.steal_round() };
+            if got {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < 32 {
+                    std::hint::spin_loop();
+                } else {
+                    // Crucial on oversubscribed hosts: let victims run.
+                    std::thread::yield_now();
+                }
+            }
+        } else {
+            // Publish a report for the most recently finished region.
+            // A worker that never noticed a (very short) region still
+            // publishes an empty report so the coordinator's collection
+            // loop terminates.
+            let done = inner.completed.load(Acquire);
+            if done != 0 && wkr.report_epoch.load(Relaxed) != done {
+                // SAFETY: owner-only state; the coordinator reads
+                // `report` only after Acquire-observing a matching
+                // `report_epoch`, which we Release-store below.
+                unsafe {
+                    let own = handle.own();
+                    let report = if own.seen_epoch == done {
+                        let (work, _, _) = own.span.finish();
+                        WorkerReport {
+                            stats: own.stats,
+                            work,
+                            breakdown: own.tb.finish(),
+                        }
+                    } else {
+                        WorkerReport::default()
+                    };
+                    *wkr.report.get() = report;
+                }
+                wkr.report_epoch.store(done, Release);
+            }
+            idle += 1;
+            if idle < 16 {
+                std::hint::spin_loop();
+            } else if idle < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(std::time::Duration::from_micros(200));
+            }
+        }
+    }
+}

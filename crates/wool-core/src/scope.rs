@@ -1,0 +1,232 @@
+//! A dynamic spawn scope: arbitrarily many heterogeneous tasks, all
+//! joined before the scope returns.
+//!
+//! [`WorkerHandle::fork`] and `for_each_spawn` cover the paper's
+//! benchmark shapes (binary fork and flat homogeneous loops). Some
+//! programs — the paper's `cholesky` ancestor in Cilk spawned varying
+//! numbers of heterogeneous tasks per region — want the classic
+//! `spawn ...; spawn ...; sync;` shape with *different* closures. This
+//! module provides it.
+//!
+//! Because each spawned closure has its own type, the descriptors store
+//! a boxed `dyn FnOnce` — one heap allocation per spawn, unlike the
+//! inline fast path. That is the honest trade: `scope` is for tasks
+//! coarse enough that an allocation does not matter; for fine-grained
+//! work use `fork`/`for_each_spawn`, which stay allocation-free. (The
+//! boxed closure is still *scheduled* through the direct task stack:
+//! descriptor reuse, state-word synchronization, leap-frogging all
+//! apply.) Scope tasks return `()`; span instrumentation treats them as
+//! part of the enclosing serial segment rather than as parallel
+//! branches.
+
+use std::marker::PhantomData;
+
+use crate::exec::WorkerHandle;
+use crate::strategy::Strategy;
+
+/// The boxed task type every scope spawn erases to (uniform type, so
+/// the stack's typed LIFO join applies).
+type BoxedTask<'scope, S> = Box<dyn FnOnce(&mut WorkerHandle<S>) + Send + 'scope>;
+
+/// A spawn scope; see the module docs.
+///
+/// Created by [`WorkerHandle::scope`]; tasks spawned on it may borrow
+/// anything that outlives `'scope` and are all complete when `scope`
+/// returns.
+pub struct Scope<'scope, S: Strategy> {
+    /// Count of tasks pushed and not yet joined.
+    pending: usize,
+    _marker: PhantomData<(&'scope (), S)>,
+}
+
+impl<'scope, S: Strategy> Scope<'scope, S> {
+    fn new() -> Self {
+        Scope {
+            pending: 0,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<S: Strategy> WorkerHandle<S> {
+    /// Runs `f` with a [`Scope`] on which any number of tasks can be
+    /// spawned; all of them are joined (in LIFO order, as the stack
+    /// discipline requires) before `scope` returns.
+    ///
+    /// ```
+    /// use wool_core::Pool;
+    ///
+    /// let mut pool: Pool = Pool::new(2);
+    /// let mut evens = 0u64;
+    /// let mut odds = 0u64;
+    /// pool.run(|h| {
+    ///     h.scope(|h, s| {
+    ///         s.spawn(h, |_| evens = (0..100).filter(|x| x % 2 == 0).sum());
+    ///         s.spawn(h, |_| odds = (0..100).filter(|x| x % 2 == 1).sum());
+    ///     });
+    /// });
+    /// assert_eq!(evens + odds, 4950);
+    /// ```
+    pub fn scope<'scope, R>(
+        &mut self,
+        f: impl FnOnce(&mut WorkerHandle<S>, &mut Scope<'scope, S>) -> R,
+    ) -> R {
+        let mut scope = Scope::new();
+        // Drop guard: if `f` unwinds, join everything spawned so far
+        // before the borrowed environment dies.
+        struct Finish<'scope, S: Strategy> {
+            h: *mut WorkerHandle<S>,
+            scope: *mut Scope<'scope, S>,
+        }
+        impl<'scope, S: Strategy> Drop for Finish<'scope, S> {
+            fn drop(&mut self) {
+                // SAFETY: handle and scope outlive the guard (same
+                // frame); every pending task is a BoxedTask.
+                unsafe {
+                    let scope = &mut *self.scope;
+                    while scope.pending > 0 {
+                        scope.pending -= 1;
+                        (*self.h).join_scope_task::<BoxedTask<'scope, S>>();
+                    }
+                }
+            }
+        }
+        let guard = Finish {
+            h: self as *mut Self,
+            scope: &mut scope as *mut Scope<'scope, S>,
+        };
+        let r = f(self, &mut scope);
+        drop(guard); // joins all pending tasks (normal path and unwind share it)
+        r
+    }
+}
+
+impl<'scope, S: Strategy> Scope<'scope, S> {
+    /// Spawns `f` onto the worker's task stack (boxed; see module docs).
+    /// The task may run on any worker; it is joined by the enclosing
+    /// [`WorkerHandle::scope`] call.
+    pub fn spawn<F>(&mut self, h: &mut WorkerHandle<S>, f: F)
+    where
+        F: FnOnce(&mut WorkerHandle<S>) + Send + 'scope,
+    {
+        let boxed: BoxedTask<'scope, S> = Box::new(f);
+        // SAFETY: the scope's drop guard joins this task before any
+        // `'scope` borrow can expire, and the pushed type is exactly
+        // the `BoxedTask` the guard joins with.
+        unsafe {
+            if h.push_boxed(boxed) {
+                self.pending += 1;
+            }
+            // On overflow `push_boxed` ran the task eagerly; nothing to
+            // join later.
+        }
+    }
+
+    /// Number of tasks spawned and not yet joined.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Pool, PoolConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn heterogeneous_spawns_join_before_return() {
+        let mut pool: Pool = Pool::new(3);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        let c = AtomicU64::new(0);
+        pool.run(|h| {
+            h.scope(|h, s| {
+                s.spawn(h, |_| _ = a.fetch_add(1, Ordering::Relaxed));
+                s.spawn(h, |_| _ = b.fetch_add(10, Ordering::Relaxed));
+                s.spawn(h, |_| _ = c.fetch_add(100, Ordering::Relaxed));
+                assert_eq!(s.pending(), 3);
+            });
+            // All joined here.
+            assert_eq!(a.load(Ordering::Relaxed), 1);
+            assert_eq!(b.load(Ordering::Relaxed), 10);
+            assert_eq!(c.load(Ordering::Relaxed), 100);
+        });
+    }
+
+    #[test]
+    fn scope_returns_value_and_borrows_stack() {
+        let mut pool: Pool = Pool::new(2);
+        let data = vec![1u64, 2, 3, 4];
+        let sum = pool.run(|h| {
+            let partial = AtomicU64::new(0);
+            let r = h.scope(|h, s| {
+                let (lo, hi) = data.split_at(2);
+                s.spawn(h, |_| _ = partial.fetch_add(lo.iter().sum::<u64>(), Ordering::Relaxed));
+                s.spawn(h, |_| _ = partial.fetch_add(hi.iter().sum::<u64>(), Ordering::Relaxed));
+                42u64
+            });
+            assert_eq!(r, 42);
+            partial.load(Ordering::Relaxed)
+        });
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn nested_scopes_and_forks() {
+        let mut pool: Pool = Pool::new(3);
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        pool.run(|h| {
+            h.scope(|h, s| {
+                for i in 0..8u64 {
+                    s.spawn(h, move |h| {
+                        let (x, y) = h.fork(|_| i, |_| i * 2);
+                        total_ref.fetch_add(x + y, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..8).map(|i| 3 * i).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_survives_overflow() {
+        let cfg = PoolConfig::with_workers(1).stack_capacity(16);
+        let mut pool: Pool = Pool::with_config(cfg);
+        let n = AtomicU64::new(0);
+        pool.run(|h| {
+            h.scope(|h, s| {
+                for _ in 0..100 {
+                    s.spawn(h, |_| _ = n.fetch_add(1, Ordering::Relaxed));
+                }
+            });
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panic_in_scope_body_joins_pending() {
+        let mut pool: Pool = Pool::new(2);
+        let ran = AtomicU64::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|h| {
+                h.scope(|h, s| {
+                    s.spawn(h, |_| _ = ran.fetch_add(1, Ordering::Relaxed));
+                    panic!("scope body panics");
+                });
+            })
+        }));
+        assert!(r.is_err());
+        // The pending task was joined (hence ran) during unwind.
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        // The pool stays usable.
+        assert_eq!(pool.run(|h| h.fork(|_| 2u64, |_| 3u64)), (2, 3));
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let mut pool: Pool = Pool::new(1);
+        let r = pool.run(|h| h.scope(|_h, s| s.pending()));
+        assert_eq!(r, 0);
+    }
+}

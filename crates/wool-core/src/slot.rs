@@ -1,0 +1,474 @@
+//! Task descriptors and the state word of the direct task stack.
+//!
+//! The task pool of each worker is an array of fixed-size [`TaskSlot`]s
+//! (§III-A: "the task pool is made up of fixed size task descriptors
+//! (rather than pointers to task descriptors) and memory management is
+//! simplified by adhering to a strict stack discipline").
+//!
+//! Each slot carries:
+//!
+//! * `state` — the synchronization word thief and victim coordinate on:
+//!   `EMPTY`, `TASK`, `STOLEN(i)`, `DONE` (§III-A). The paper packs the
+//!   wrapper function pointer into the `TASK` value; Rust does not
+//!   guarantee function pointer alignment, so we keep the wrapper in a
+//!   dedicated word of the same cache line, which preserves the property
+//!   that matters: a single cache-block transfer moves both the signal
+//!   and the data needed to run the stolen task.
+//! * `wrapper` — the task-specific wrapper function (the paper's
+//!   `wrap_f`), used by thieves and by the non-task-specific join.
+//! * `data` — 64 bytes of inline storage holding the closure before
+//!   execution and the result (or panic payload) after. Tasks whose
+//!   closure or result does not fit are transparently boxed; the slot
+//!   then holds the box pointer, which mirrors the pointer-queue designs
+//!   the paper compares against, but only as a rare fallback.
+//! * `span` — the work/span measured for a stolen task by its thief, so
+//!   the joining owner can fold it into the critical-path computation
+//!   (the paper's span measurement facility behind Table I).
+
+use std::cell::UnsafeCell;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inline storage per task descriptor, in 8-byte words.
+pub const DATA_WORDS: usize = 8;
+
+/// State word: no task stored (or transiently held by a thief mid-CAS).
+pub const EMPTY: usize = 0;
+/// State word: a stealable/joinable task is stored.
+pub const TASK: usize = 1;
+/// State word: a stolen task completed successfully.
+pub const DONE: usize = 2;
+/// State word: a stolen task panicked (payload stored in the slot).
+pub const DONE_PANIC: usize = 3;
+/// State word base for `STOLEN(i)`, encoded as `STOLEN_BASE + i`.
+pub const STOLEN_BASE: usize = 4;
+
+/// Returns the `STOLEN(i)` encoding for thief index `i`.
+#[inline(always)]
+pub fn stolen(thief: usize) -> usize {
+    STOLEN_BASE + thief
+}
+
+/// Decodes a `STOLEN(i)` state word back to the thief index.
+#[inline(always)]
+pub fn thief_of(state: usize) -> usize {
+    debug_assert!(is_stolen(state));
+    state - STOLEN_BASE
+}
+
+/// True if the state word denotes a stolen, not-yet-completed task.
+#[inline(always)]
+pub fn is_stolen(state: usize) -> bool {
+    state >= STOLEN_BASE
+}
+
+/// True if the state word denotes a completed stolen task.
+#[inline(always)]
+pub fn is_done(state: usize) -> bool {
+    state == DONE || state == DONE_PANIC
+}
+
+/// The wrapper function stored in a slot: executes the task in place,
+/// writing the result (or panic payload) back into the slot. Returns
+/// `true` on success, `false` if the task panicked (the caller then
+/// publishes `DONE` or `DONE_PANIC` accordingly — the wrapper itself
+/// never touches `state`, so the caller can order its own slot writes
+/// before the completion signal).
+///
+/// The second argument is a type-erased pointer to the executing
+/// worker's [`crate::WorkerHandle`]; the wrapper knows the
+/// concrete strategy type and casts it back.
+pub type RawWrapper = unsafe fn(*const TaskSlot, *mut ()) -> bool;
+
+/// One fixed-size task descriptor.
+///
+/// `#[repr(align(128))]` keeps each descriptor on its own pair of cache
+/// lines so thieves polling one worker's `bot` slot do not false-share
+/// with the owner pushing at `top`.
+#[repr(align(128))]
+pub struct TaskSlot {
+    /// The synchronization word (see module docs).
+    pub state: AtomicUsize,
+    /// The task-specific wrapper; written by the owner before the slot
+    /// is published, read by whoever acquires the task.
+    wrapper: UnsafeCell<MaybeUninit<RawWrapper>>,
+    /// Span at the two overhead levels, `(span0, span_c)`, measured by
+    /// a thief for a stolen task (work accumulates in the thief's own
+    /// counter and needs no hand-off).
+    span: UnsafeCell<(u64, u64)>,
+    /// Inline closure/result storage.
+    data: UnsafeCell<MaybeUninit<[u64; DATA_WORDS]>>,
+}
+
+// SAFETY: cross-thread access to `wrapper`, `span` and `data` is
+// governed by the `state` word protocol: a thread may touch them only
+// while it owns the slot (after winning the CAS/swap that acquires the
+// task, or — for the owner — while the slot is above `bot` and private,
+// or before publication). All ownership transfers happen through
+// Release stores / Acquire loads (or RMWs) on `state`, or through the
+// `n_public` publication fence, establishing happens-before for the
+// plain accesses.
+unsafe impl Sync for TaskSlot {}
+unsafe impl Send for TaskSlot {}
+
+impl Default for TaskSlot {
+    fn default() -> Self {
+        TaskSlot {
+            state: AtomicUsize::new(EMPTY),
+            wrapper: UnsafeCell::new(MaybeUninit::uninit()),
+            span: UnsafeCell::new((0, 0)),
+            data: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+impl TaskSlot {
+    /// Reads the wrapper function.
+    ///
+    /// # Safety
+    /// Caller must own the slot and the wrapper must have been written.
+    #[inline(always)]
+    pub unsafe fn wrapper(&self) -> RawWrapper {
+        (*self.wrapper.get()).assume_init()
+    }
+
+    /// Records the measured `(span0, span_c)` of a stolen task.
+    ///
+    /// # Safety
+    /// Caller must own the slot (be its executing thief).
+    #[inline(always)]
+    pub unsafe fn set_span(&self, span0: u64, span_c: u64) {
+        *self.span.get() = (span0, span_c);
+    }
+
+    /// Reads the `(span0, span_c)` recorded by [`set_span`].
+    ///
+    /// # Safety
+    /// Caller must have observed `DONE`/`DONE_PANIC` with Acquire.
+    ///
+    /// [`set_span`]: TaskSlot::set_span
+    #[inline(always)]
+    pub unsafe fn span(&self) -> (u64, u64) {
+        *self.span.get()
+    }
+
+    /// Raw pointer to the data area.
+    #[inline(always)]
+    fn data_ptr(&self) -> *mut u8 {
+        self.data.get() as *mut u8
+    }
+}
+
+/// Whether a value of type `T` fits the inline data area.
+const fn fits_inline<T>() -> bool {
+    size_of::<T>() <= DATA_WORDS * 8 && align_of::<T>() <= 8
+}
+
+/// Heap representation for oversized tasks: the closure and result share
+/// an allocation, freed by whoever consumes the result.
+struct BoxedTask<F, R> {
+    f: ManuallyDrop<F>,
+    r: MaybeUninit<R>,
+}
+
+/// Typed access to a slot's storage for a task `F: FnOnce(ctx) -> R`.
+///
+/// All functions are associated functions of this marker type so that
+/// the inline-vs-boxed decision is made once, at compile time, per
+/// `(F, R)` pair.
+pub struct TaskRepr<F, R>(std::marker::PhantomData<(F, R)>);
+
+impl<F, R> TaskRepr<F, R> {
+    /// True if both the closure and the result are stored inline.
+    pub const INLINE: bool = fits_inline::<F>() && fits_inline::<R>();
+
+    /// Stores the closure (and `wrapper`) into the slot.
+    ///
+    /// Does **not** touch `state`; the caller publishes afterwards.
+    ///
+    /// # Safety
+    /// Caller must own the slot (owner thread, slot above `top`).
+    #[inline(always)]
+    pub unsafe fn store(slot: &TaskSlot, f: F, wrapper: RawWrapper) {
+        (*slot.wrapper.get()).write(wrapper);
+        if Self::INLINE {
+            (slot.data_ptr() as *mut F).write(f);
+        } else {
+            let boxed = Box::new(BoxedTask::<F, R> {
+                f: ManuallyDrop::new(f),
+                r: MaybeUninit::uninit(),
+            });
+            (slot.data_ptr() as *mut *mut BoxedTask<F, R>).write(Box::into_raw(boxed));
+        }
+    }
+
+    /// Takes the closure back out for direct (task-specific, inlined)
+    /// execution. Frees the box in the boxed case.
+    ///
+    /// # Safety
+    /// Caller must have acquired the slot while it held this task.
+    #[inline(always)]
+    pub unsafe fn take_closure(slot: &TaskSlot) -> F {
+        if Self::INLINE {
+            (slot.data_ptr() as *const F).read()
+        } else {
+            let raw = (slot.data_ptr() as *const *mut BoxedTask<F, R>).read();
+            let boxed = Box::from_raw(raw);
+            ManuallyDrop::into_inner(boxed.f)
+        }
+    }
+
+    /// Executes the task in place: consumes the closure, runs it with
+    /// `ctx`, stores the result (or the panic payload) into the slot.
+    ///
+    /// Returns `true` on success, `false` if the task panicked (the
+    /// payload is then stored and the acquirer must set `DONE_PANIC`).
+    ///
+    /// # Safety
+    /// Caller must own the slot; `run` is responsible for supplying the
+    /// execution context the closure needs (it typically captures the
+    /// executing worker's handle).
+    #[inline]
+    pub unsafe fn exec_in_place(slot: &TaskSlot, run: impl FnOnce(F) -> R) -> bool {
+        if Self::INLINE {
+            let f = (slot.data_ptr() as *const F).read();
+            match std::panic::catch_unwind(AssertUnwindSafe(|| run(f))) {
+                Ok(r) => {
+                    (slot.data_ptr() as *mut R).write(r);
+                    true
+                }
+                Err(payload) => {
+                    Self::store_panic(slot, payload);
+                    false
+                }
+            }
+        } else {
+            let raw = (slot.data_ptr() as *const *mut BoxedTask<F, R>).read();
+            let f = ManuallyDrop::take(&mut (*raw).f);
+            match std::panic::catch_unwind(AssertUnwindSafe(|| run(f))) {
+                Ok(r) => {
+                    (*raw).r.write(r);
+                    // Re-store the box pointer: when the task runs *in
+                    // place* on its owner (non-task-specific join), its
+                    // nested spawns reuse this very descriptor and
+                    // clobber the data area; `take_result` re-reads the
+                    // pointer from the slot afterwards.
+                    (slot.data_ptr() as *mut *mut BoxedTask<F, R>).write(raw);
+                    true
+                }
+                Err(payload) => {
+                    drop(Box::from_raw(raw));
+                    Self::store_panic(slot, payload);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reads the result stored by [`exec_in_place`], freeing the box in
+    /// the boxed case.
+    ///
+    /// # Safety
+    /// Caller must have observed `DONE` with Acquire ordering (or have
+    /// run `exec_in_place` itself).
+    ///
+    /// [`exec_in_place`]: TaskRepr::exec_in_place
+    #[inline(always)]
+    pub unsafe fn take_result(slot: &TaskSlot) -> R {
+        if Self::INLINE {
+            (slot.data_ptr() as *const R).read()
+        } else {
+            let raw = (slot.data_ptr() as *const *mut BoxedTask<F, R>).read();
+            let boxed = Box::from_raw(raw);
+            boxed.r.assume_init_read()
+        }
+    }
+
+    /// Stores a panic payload into the slot's inline area.
+    ///
+    /// # Safety
+    /// Caller must own the slot; any closure/result must be consumed.
+    unsafe fn store_panic(slot: &TaskSlot, payload: Box<dyn std::any::Any + Send>) {
+        // A boxed `dyn Any` fat pointer is two words; it always fits.
+        (slot.data_ptr() as *mut Box<dyn std::any::Any + Send>).write(payload);
+    }
+
+    /// Reads a panic payload stored by a panicking execution.
+    ///
+    /// # Safety
+    /// Caller must have observed `DONE_PANIC` with Acquire ordering.
+    pub unsafe fn take_panic(slot: &TaskSlot) -> Box<dyn std::any::Any + Send> {
+        (slot.data_ptr() as *const Box<dyn std::any::Any + Send>).read()
+    }
+}
+
+/// Spin-waits until the slot's state is no longer the transient `EMPTY`
+/// left behind by an in-flight steal, returning the next stable value.
+///
+/// Used by `RTS_join`: the paper's
+/// `while (s == EMPTY) s = t->state;` loop.
+#[inline]
+pub fn spin_while_empty(slot: &TaskSlot) -> usize {
+    let mut spins = 0u32;
+    loop {
+        let s = slot.state.load(Ordering::Acquire);
+        if s != EMPTY {
+            return s;
+        }
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            // The thief mid-steal may be descheduled (uniprocessor or
+            // oversubscribed hosts); yield so it can finish.
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_encoding_roundtrip() {
+        for i in [0usize, 1, 7, 63, 1024] {
+            let s = stolen(i);
+            assert!(is_stolen(s));
+            assert_eq!(thief_of(s), i);
+            assert!(!is_done(s));
+        }
+        assert!(!is_stolen(EMPTY));
+        assert!(!is_stolen(TASK));
+        assert!(!is_stolen(DONE));
+        assert!(is_done(DONE));
+        assert!(is_done(DONE_PANIC));
+        assert!(!is_done(TASK));
+    }
+
+    #[test]
+    fn slot_is_two_cache_lines() {
+        assert_eq!(std::mem::align_of::<TaskSlot>(), 128);
+        assert_eq!(std::mem::size_of::<TaskSlot>(), 128);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the subject
+    fn inline_decision() {
+        assert!(TaskRepr::<fn() -> u64, u64>::INLINE);
+        assert!(TaskRepr::<[u64; 8], u64>::INLINE);
+        assert!(!TaskRepr::<[u64; 9], u64>::INLINE);
+        assert!(!TaskRepr::<u64, [u64; 9]>::INLINE);
+        // Over-aligned types are boxed.
+        #[repr(align(64))]
+        struct Aligned(#[allow(dead_code)] u8);
+        assert!(!TaskRepr::<Aligned, u64>::INLINE);
+    }
+
+    fn roundtrip<F, R>(f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool { true }
+        let slot = TaskSlot::default();
+        // SAFETY: single-threaded test; we own the slot throughout.
+        unsafe {
+            TaskRepr::<F, R>::store(&slot, f, wrapper);
+            let ok = TaskRepr::<F, R>::exec_in_place(&slot, |f| f());
+            assert!(ok);
+            TaskRepr::<F, R>::take_result(&slot)
+        }
+    }
+
+    #[test]
+    fn inline_store_exec_take() {
+        let x = 5u64;
+        let r = roundtrip(move || x * 2);
+        assert_eq!(r, 10);
+    }
+
+    #[test]
+    fn boxed_store_exec_take() {
+        let big = [7u64; 32]; // closure too large for inline storage
+        let r = roundtrip(move || big.iter().sum::<u64>());
+        assert_eq!(r, 7 * 32);
+    }
+
+    /// Helper that pins the closure type across store/take.
+    unsafe fn store_then_take<F, R>(slot: &TaskSlot, f: F) -> F
+    where
+        F: FnOnce() -> R,
+    {
+        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool {
+            true
+        }
+        TaskRepr::<F, R>::store(slot, f, wrapper);
+        TaskRepr::<F, R>::take_closure(slot)
+    }
+
+    #[test]
+    fn take_closure_direct_call() {
+        let slot = TaskSlot::default();
+        let s = String::from("hello");
+        // SAFETY: single-threaded test.
+        unsafe {
+            let g = store_then_take(&slot, move || s.len());
+            assert_eq!(g(), 5);
+        }
+    }
+
+    #[test]
+    fn panic_payload_roundtrip() {
+        let slot = TaskSlot::default();
+        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool { true }
+        fn boom() -> u64 {
+            panic!("boom-42")
+        }
+        let f: fn() -> u64 = boom;
+        // SAFETY: single-threaded test.
+        unsafe {
+            TaskRepr::<fn() -> u64, u64>::store(&slot, f, wrapper);
+            let ok = TaskRepr::<fn() -> u64, u64>::exec_in_place(&slot, |f| f());
+            assert!(!ok);
+            let payload = TaskRepr::<fn() -> u64, u64>::take_panic(&slot);
+            let msg = payload.downcast_ref::<&str>().unwrap();
+            assert_eq!(*msg, "boom-42");
+        }
+    }
+
+    #[test]
+    fn spin_while_empty_returns_stable_state() {
+        let slot = TaskSlot::default();
+        slot.state.store(TASK, Ordering::Release);
+        assert_eq!(spin_while_empty(&slot), TASK);
+        slot.state.store(stolen(3), Ordering::Release);
+        assert_eq!(spin_while_empty(&slot), stolen(3));
+    }
+
+    #[test]
+    fn drop_of_unexecuted_boxed_closure_not_leaked_by_take() {
+        // take_closure must free the box without running the closure.
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracker([u64; 16]);
+        impl Drop for Tracker {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = TaskSlot::default();
+        let t = Tracker([1; 16]);
+        // SAFETY: single-threaded test. (`let t = t;` forces the whole
+        // Tracker into the closure; capturing `t.0` alone would copy the
+        // Copy array and leave the tracker outside.)
+        unsafe {
+            let g = store_then_take(&slot, move || {
+                let t = t;
+                t.0[0]
+            });
+            drop(g);
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! A minimal test-and-test-and-set spinlock.
+//!
+//! The lock-based strategy variants of Table II and Figure 4 need a
+//! per-worker lock with predictable, small cost. We use our own TATAS
+//! lock rather than an OS mutex so the measured overhead is the locking
+//! protocol itself, as in the paper's run-time-system experiments.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A test-and-test-and-set spinlock.
+#[derive(Debug, Default)]
+pub struct SpinLock {
+    locked: AtomicBool,
+}
+
+impl SpinLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    /// Acquires the lock, spinning (with escalating pauses) until free.
+    #[inline]
+    pub fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            // Test-and-test-and-set: spin on a plain load to avoid
+            // hammering the cache line with RMWs.
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Uniprocessor-friendly: let the holder run.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    /// Releases the lock.
+    ///
+    /// Calling this without holding the lock is a logic error (it will
+    /// unlock someone else's critical section) but not UB; the scheduler
+    /// code pairs every `unlock` with a `lock`/`try_lock` above it.
+    #[inline]
+    pub fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Runs `f` with the lock held.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock();
+        let r = f();
+        self.unlock();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock() {
+        let l = SpinLock::new();
+        l.lock();
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn with_runs_closure() {
+        let l = SpinLock::new();
+        assert_eq!(l.with(|| 42), 42);
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    #[allow(clippy::arc_with_non_send_sync)] // wrapped in a Send newtype below
+    fn mutual_exclusion() {
+        const THREADS: usize = 4;
+        const PER: usize = 50_000;
+        let lock = Arc::new(SpinLock::new());
+        // Deliberately non-atomic counter protected by the lock.
+        let counter = Arc::new(std::cell::UnsafeCell::new(0usize));
+        struct Shared(Arc<std::cell::UnsafeCell<usize>>);
+        // SAFETY: all accesses are under `lock`.
+        unsafe impl Send for Shared {}
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let c = Shared(Arc::clone(&counter));
+                std::thread::spawn(move || {
+                    // Capture the whole wrapper (edition-2021 disjoint
+                    // field capture would otherwise grab the raw Arc).
+                    let c = c;
+                    for _ in 0..PER {
+                        lock.lock();
+                        // SAFETY: protected by `lock`.
+                        unsafe { *c.0.get() += 1 };
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: all threads joined.
+        assert_eq!(unsafe { *counter.get() }, THREADS * PER);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-worker scheduler statistics.
+//!
+//! The paper's evaluation is driven by counters of exactly these events:
+//! spawns (`N_T` for task granularity `G_T = T_S / N_T`), steals (`N_M`
+//! for load-balancing granularity `G_L = T_S / N_M`), leap-frog steals,
+//! and the thief back-offs §III-A promises stay below 1% of successful
+//! steals. Counters live in owner-only state and are incremented with
+//! plain adds, so the hot spawn/join paths pay one `add` instruction at
+//! most.
+
+use std::ops::AddAssign;
+
+/// Event counters for one worker (or an aggregate over workers).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Tasks spawned (the paper's `N_T`).
+    pub spawns: u64,
+    /// Joins that found the task private and used the plain-load path.
+    pub inlined_private: u64,
+    /// Joins that acquired the task with the atomic swap.
+    pub inlined_public: u64,
+    /// Joins that entered the slow path (`RTS_join`).
+    pub rts_joins: u64,
+    /// Joins that found their task stolen and had to wait.
+    pub stolen_joins: u64,
+    /// Successful steals (the paper's `N_M`).
+    pub steals: u64,
+    /// Successful steals performed while leap-frogging.
+    pub leap_steals: u64,
+    /// Steal attempts that found no stealable task.
+    pub failed_steals: u64,
+    /// Steal attempts that lost the CAS race to another thief or owner.
+    pub lost_races: u64,
+    /// Steals aborted by the `bot` re-check (§III-A back-off).
+    pub backoffs: u64,
+    /// Times the owner raised the public boundary (§III-B publications).
+    pub publishes: u64,
+    /// Steal attempts that found only private tasks and requested
+    /// publication.
+    pub publish_requests: u64,
+    /// Spawns that overflowed the task pool and ran eagerly inline.
+    pub overflow_inlines: u64,
+}
+
+impl Stats {
+    /// Total successful steals including leap-frog steals.
+    pub fn total_steals(&self) -> u64 {
+        self.steals + self.leap_steals
+    }
+
+    /// Back-offs as a fraction of successful steals (the paper reports
+    /// "always below 1%").
+    pub fn backoff_ratio(&self) -> f64 {
+        let s = self.total_steals();
+        if s == 0 {
+            0.0
+        } else {
+            self.backoffs as f64 / s as f64
+        }
+    }
+
+    /// Joins resolved without any atomic instruction, as a fraction of
+    /// all joins.
+    pub fn private_join_ratio(&self) -> f64 {
+        let total = self.inlined_private + self.inlined_public + self.rts_joins;
+        if total == 0 {
+            0.0
+        } else {
+            self.inlined_private as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, o: Self) {
+        self.spawns += o.spawns;
+        self.inlined_private += o.inlined_private;
+        self.inlined_public += o.inlined_public;
+        self.rts_joins += o.rts_joins;
+        self.stolen_joins += o.stolen_joins;
+        self.steals += o.steals;
+        self.leap_steals += o.leap_steals;
+        self.failed_steals += o.failed_steals;
+        self.lost_races += o.lost_races;
+        self.backoffs += o.backoffs;
+        self.publishes += o.publishes;
+        self.publish_requests += o.publish_requests;
+        self.overflow_inlines += o.overflow_inlines;
+    }
+}
+
+impl std::iter::Sum for Stats {
+    fn sum<I: Iterator<Item = Stats>>(iter: I) -> Stats {
+        let mut acc = Stats::default();
+        for s in iter {
+            acc += s;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_aggregates_fields() {
+        let a = Stats {
+            spawns: 10,
+            steals: 2,
+            backoffs: 1,
+            ..Default::default()
+        };
+        let b = Stats {
+            spawns: 5,
+            leap_steals: 3,
+            ..Default::default()
+        };
+        let t: Stats = [a, b].into_iter().sum();
+        assert_eq!(t.spawns, 15);
+        assert_eq!(t.total_steals(), 5);
+        assert_eq!(t.backoffs, 1);
+    }
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = Stats::default();
+        assert_eq!(s.backoff_ratio(), 0.0);
+        assert_eq!(s.private_join_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = Stats {
+            steals: 8,
+            leap_steals: 2,
+            backoffs: 1,
+            inlined_private: 6,
+            inlined_public: 2,
+            rts_joins: 2,
+            ..Default::default()
+        };
+        assert!((s.backoff_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.private_join_ratio() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the direct task stack scheduler: randomly
+//! shaped fork/for-each programs must match a sequential model exactly,
+//! on every strategy, across worker counts and tiny stack capacities
+//! (exercising the overflow fallback).
+
+use proptest::prelude::*;
+use wool_core::{
+    LockedBase, Pool, PoolConfig, StealLockTrylock, SyncOnTask, TaskSpecific, WoolFull,
+    WorkerHandle,
+};
+
+/// A random program over the fork-join API.
+#[derive(Debug, Clone)]
+enum Prog {
+    Work(u8),
+    Fork(Box<Prog>, Box<Prog>),
+    Seq(Box<Prog>, Box<Prog>),
+    Loop(u8, Box<Prog>),
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    let leaf = (0u8..32).prop_map(Prog::Work);
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Prog::Fork(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Prog::Seq(Box::new(a), Box::new(b))),
+            ((1u8..6), inner).prop_map(|(n, p)| Prog::Loop(n, Box::new(p))),
+        ]
+    })
+}
+
+fn model(p: &Prog) -> u64 {
+    match p {
+        Prog::Work(v) => (*v as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        Prog::Fork(a, b) => model(a).wrapping_add(model(b).rotate_left(9)),
+        Prog::Seq(a, b) => model(a) ^ model(b).rotate_left(17),
+        Prog::Loop(n, p) => {
+            let inner = model(p);
+            (0..*n as u64).fold(0u64, |acc, i| {
+                acc.wrapping_add(inner.wrapping_mul(i + 1))
+            })
+        }
+    }
+}
+
+fn eval<S: wool_core::Strategy>(h: &mut WorkerHandle<S>, p: &Prog) -> u64 {
+    match p {
+        Prog::Work(v) => (*v as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        Prog::Fork(a, b) => {
+            let (x, y) = h.fork(|h| eval(h, a), |h| eval(h, b));
+            x.wrapping_add(y.rotate_left(9))
+        }
+        Prog::Seq(a, b) => {
+            let x = eval(h, a);
+            let y = eval(h, b);
+            x ^ y.rotate_left(17)
+        }
+        Prog::Loop(n, p) => {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let acc = AtomicU64::new(0);
+            let inner: Vec<AtomicU64> = (0..*n as usize).map(|_| AtomicU64::new(0)).collect();
+            h.for_each_spawn(*n as usize, &|h, i| {
+                inner[i].store(eval(h, p), Ordering::Relaxed);
+            });
+            for (i, v) in inner.iter().enumerate() {
+                acc.fetch_add(
+                    v.load(Ordering::Relaxed).wrapping_mul(i as u64 + 1),
+                    Ordering::Relaxed,
+                );
+            }
+            acc.load(Ordering::Relaxed)
+        }
+    }
+}
+
+fn check<S: wool_core::Strategy>(prog: &Prog, workers: usize, capacity: usize) {
+    let cfg = PoolConfig::with_workers(workers).stack_capacity(capacity);
+    let mut pool: Pool<S> = Pool::with_config(cfg);
+    let got = pool.run(|h| eval(h, prog));
+    assert_eq!(got, model(prog), "strategy {}", S::NAME);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wool_matches_model(prog in prog_strategy(), workers in 1usize..4) {
+        check::<WoolFull>(&prog, workers, 8192);
+    }
+
+    #[test]
+    fn all_strategies_match_model(prog in prog_strategy()) {
+        check::<WoolFull>(&prog, 2, 8192);
+        check::<TaskSpecific>(&prog, 2, 8192);
+        check::<SyncOnTask>(&prog, 2, 8192);
+        check::<LockedBase>(&prog, 2, 8192);
+        check::<StealLockTrylock>(&prog, 2, 8192);
+    }
+
+    /// Tiny stacks force the eager-overflow path mid-program.
+    #[test]
+    fn overflow_fallback_matches_model(prog in prog_strategy()) {
+        check::<WoolFull>(&prog, 2, 16);
+    }
+
+    /// Statistics identity: joins account for every spawn.
+    #[test]
+    fn spawn_join_accounting(prog in prog_strategy(), workers in 1usize..4) {
+        let mut pool: Pool<WoolFull> = Pool::new(workers);
+        let got = pool.run(|h| eval(h, &prog));
+        prop_assert_eq!(got, model(&prog));
+        let t = pool.last_report().unwrap().total;
+        prop_assert_eq!(
+            t.spawns,
+            t.inlined_private + t.inlined_public + t.rts_joins,
+            "{:?}", t
+        );
+        prop_assert_eq!(t.total_steals(), t.stolen_joins, "{:?}", t);
+    }
+}

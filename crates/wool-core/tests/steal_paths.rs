@@ -1,0 +1,119 @@
+//! Deterministic exercises of the steal/stolen-join paths that the
+//! random workloads only hit probabilistically.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use wool_core::{Pool, PoolConfig, TaskSpecific, WorkerHandle};
+
+/// Forces a steal: the CALL branch spins until the spawned branch has
+/// been executed — which can only happen on another worker, so the join
+/// *must* take the stolen path (STOLEN wait or DONE).
+///
+/// Uses the all-public `TaskSpecific` strategy: with private tasks, a
+/// worker that never spawns/joins while spinning would also never
+/// publish, which is the documented liveness boundary of the trip-wire
+/// scheme (§III-B: notifications are checked "on every spawn and join").
+#[test]
+fn blocked_join_takes_stolen_path() {
+    let mut pool: Pool<TaskSpecific> = Pool::new(2);
+    let stolen_by = AtomicUsize::new(usize::MAX);
+    let started = AtomicBool::new(false);
+
+    pool.run(|h| {
+        let ((), ()) = h.fork(
+            |_h| {
+                // Busy-wait (with a deadline) until the sibling runs.
+                let t0 = Instant::now();
+                while !started.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                    if t0.elapsed() > Duration::from_secs(20) {
+                        panic!("sibling was never stolen");
+                    }
+                    std::thread::yield_now();
+                }
+            },
+            |h: &mut WorkerHandle<TaskSpecific>| {
+                stolen_by.store(h.worker_index(), Ordering::Relaxed);
+                started.store(true, Ordering::Release);
+            },
+        );
+    });
+
+    // The spawned branch ran on the thief, not on worker 0.
+    assert_ne!(stolen_by.load(Ordering::Relaxed), 0, "task was not stolen");
+    let t = pool.last_report().unwrap().total;
+    assert_eq!(t.steals, 1, "{t:?}");
+    assert_eq!(t.stolen_joins, 1, "{t:?}");
+}
+
+/// Steal-child memory behavior (§I): spawning a list of `n` tasks
+/// before joining occupies `n` descriptors — the paper's Cilk-vs-Wool
+/// space discussion. The overflow counter makes the occupancy
+/// observable.
+#[test]
+fn linear_spawn_occupies_linear_descriptors() {
+    // Capacity 64: a 60-element spawn list fits, a 200-element one
+    // overflows (and still computes correctly via eager execution).
+    let run = |n: usize| -> u64 {
+        let cfg = PoolConfig::with_workers(1).stack_capacity(64);
+        let mut pool: Pool = Pool::with_config(cfg);
+        let out = std::sync::atomic::AtomicU64::new(0);
+        pool.run(|h| {
+            h.for_each_spawn(n, &|_h, i| {
+                out.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        let overflows = pool.last_report().unwrap().total.overflow_inlines;
+        assert_eq!(
+            out.load(Ordering::Relaxed),
+            (n as u64 * (n as u64 - 1)) / 2
+        );
+        overflows
+    };
+    assert_eq!(run(60), 0, "60 pending tasks fit in 64 descriptors");
+    assert!(run(200) > 0, "200 pending tasks must overflow 64 descriptors");
+}
+
+/// `worker_index` and `num_workers` are coherent inside tasks.
+#[test]
+fn worker_identity_in_tasks() {
+    let mut pool: Pool = Pool::new(3);
+    pool.run(|h| {
+        assert_eq!(h.worker_index(), 0, "run caller is worker 0");
+        assert_eq!(h.num_workers(), 3);
+        h.for_each_spawn(32, &|h, _i| {
+            assert!(h.worker_index() < 3);
+            assert_eq!(h.num_workers(), 3);
+        });
+    });
+}
+
+/// The trip-wire publication pipeline engages under real stealing:
+/// publish requests lead to publications, and some joins still take the
+/// no-atomic private path.
+#[test]
+fn trip_wire_publishes_under_stealing() {
+    fn fib(h: &mut WorkerHandle<wool_core::WoolFull>, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = h.fork(|h| fib(h, n - 1), |h| fib(h, n - 2));
+        a + b
+    }
+    let mut pool: Pool = Pool::new(4);
+    let mut publishes = 0;
+    let mut private = 0;
+    let mut steals = 0;
+    for _ in 0..40 {
+        pool.run(|h| fib(h, 23));
+        let t = pool.last_report().unwrap().total;
+        publishes += t.publishes;
+        private += t.inlined_private;
+        steals += t.total_steals();
+    }
+    if steals > 0 {
+        assert!(publishes > 0, "steals happened without any publication");
+    }
+    assert!(private > 0, "private fast path never used");
+}

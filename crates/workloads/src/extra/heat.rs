@@ -1,0 +1,163 @@
+//! Jacobi heat diffusion on a 2D grid: the paper's "periodic
+//! serialization points" pattern (§II) in computational form — every
+//! time step is one parallel region separated by a serial swap, so a
+//! `T`-step simulation is `T` back-to-back regions.
+
+use wool_core::Fork;
+
+/// A 2D grid with fixed boundary values.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Row count (including boundary rows).
+    pub rows: usize,
+    /// Column count (including boundary columns).
+    pub cols: usize,
+    /// Row-major cell values.
+    pub data: Vec<f64>,
+}
+
+impl Grid {
+    /// A grid with a hot left edge and cold interior/edges.
+    pub fn hot_edge(rows: usize, cols: usize) -> Grid {
+        assert!(rows >= 3 && cols >= 3);
+        let mut data = vec![0.0; rows * cols];
+        for r in 0..rows {
+            data[r * cols] = 100.0;
+        }
+        Grid { rows, cols, data }
+    }
+
+    /// Cell value at (r, c).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sum of all cells (checksum).
+    pub fn checksum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+/// Shared-output row writer (each task owns disjoint rows).
+struct Rows {
+    ptr: *mut f64,
+    cols: usize,
+}
+// SAFETY: tasks write disjoint rows; the join orders writes before reads.
+unsafe impl Sync for Rows {}
+unsafe impl Send for Rows {}
+
+impl Rows {
+    /// Exclusive access to interior row `r`.
+    ///
+    /// # Safety
+    /// At most one live caller per row.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row(&self, r: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.cols), self.cols)
+    }
+}
+
+/// One Jacobi step: `next[r][c] = mean of the four neighbors of cur`.
+/// Interior rows are computed as one task each (flat spawn, like `mm`).
+pub fn step_par<C: Fork>(c: &mut C, cur: &Grid, next: &mut Grid) {
+    assert_eq!((cur.rows, cur.cols), (next.rows, next.cols));
+    next.data.copy_from_slice(&cur.data); // boundaries carry over
+    let rows = Rows {
+        ptr: next.data.as_mut_ptr(),
+        cols: cur.cols,
+    };
+    let interior = cur.rows - 2;
+    c.for_each_spawn(interior, &|_c, i| {
+        let r = i + 1;
+        // SAFETY: one task per interior row (see Rows).
+        let out = unsafe { rows.row(r) };
+        #[allow(clippy::needless_range_loop)] // indexing two grids in lockstep
+        for cc in 1..cur.cols - 1 {
+            out[cc] = 0.25
+                * (cur.at(r - 1, cc) + cur.at(r + 1, cc) + cur.at(r, cc - 1) + cur.at(r, cc + 1));
+        }
+    });
+}
+
+/// Runs `steps` Jacobi iterations in parallel regions, returning the
+/// final grid.
+pub fn simulate_par<C: Fork>(c: &mut C, mut cur: Grid, steps: usize) -> Grid {
+    let mut next = cur.clone();
+    for _ in 0..steps {
+        step_par(c, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Sequential reference simulation.
+pub fn simulate_serial(mut cur: Grid, steps: usize) -> Grid {
+    let mut next = cur.clone();
+    for _ in 0..steps {
+        next.data.copy_from_slice(&cur.data);
+        for r in 1..cur.rows - 1 {
+            for c in 1..cur.cols - 1 {
+                next.data[r * cur.cols + c] = 0.25
+                    * (cur.at(r - 1, c) + cur.at(r + 1, c) + cur.at(r, c - 1) + cur.at(r, c + 1));
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+
+    fn close(a: &Grid, b: &Grid) -> bool {
+        a.data
+            .iter()
+            .zip(&b.data)
+            .all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = Grid::hot_edge(20, 33);
+        let want = simulate_serial(g.clone(), 25);
+        let mut e = SerialExecutor::new();
+        let got = e.run(|c| simulate_par(c, g, 25));
+        assert!(close(&got, &want));
+    }
+
+    #[test]
+    fn heat_flows_rightward() {
+        let g = Grid::hot_edge(10, 10);
+        let after = simulate_serial(g.clone(), 50);
+        // The cell next to the hot edge warms up; the far side stays
+        // cooler.
+        assert!(after.at(5, 1) > 10.0);
+        assert!(after.at(5, 8) < after.at(5, 1));
+        // Boundaries never change.
+        assert_eq!(after.at(5, 0), 100.0);
+        assert_eq!(after.at(0, 5), 0.0);
+    }
+
+    #[test]
+    fn on_wool_pool_many_regions() {
+        let g = Grid::hot_edge(18, 18);
+        let want = simulate_serial(g.clone(), 40);
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        let got = pool.run(|h| simulate_par(h, g, 40));
+        assert!(close(&got, &want));
+        // 40 steps x 16 interior rows => 40 regions of 15 spawns each.
+        assert_eq!(pool.last_report().unwrap().total.spawns, 40 * 15);
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let g = Grid::hot_edge(5, 5);
+        let mut e = SerialExecutor::new();
+        let got = e.run(|c| simulate_par(c, g.clone(), 0));
+        assert!(close(&got, &g));
+    }
+}

@@ -1,0 +1,193 @@
+//! 0/1 knapsack by branch and bound — speculative task parallelism with
+//! a shared best-so-far bound (the BOTS-style irregular search the
+//! paper's granularity discussion §II applies to: task execution times
+//! are unpredictable, so static cut-offs cannot work).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wool_core::Fork;
+
+/// One item: value and weight.
+#[derive(Debug, Clone, Copy)]
+pub struct Item {
+    /// Item value.
+    pub value: u64,
+    /// Item weight.
+    pub weight: u64,
+}
+
+/// A knapsack instance (items sorted by value density for the bound).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Items, sorted by decreasing value/weight.
+    pub items: Vec<Item>,
+    /// Weight capacity.
+    pub capacity: u64,
+}
+
+impl Instance {
+    /// Deterministic random instance with `n` items.
+    pub fn random(n: usize, seed: u64) -> Instance {
+        let mut x = seed | 1;
+        let mut next = move |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m + 1
+        };
+        let mut items: Vec<Item> = (0..n)
+            .map(|_| Item {
+                value: next(100),
+                weight: next(50),
+            })
+            .collect();
+        items.sort_by(|a, b| {
+            (b.value * a.weight).cmp(&(a.value * b.weight)) // density desc
+        });
+        let total: u64 = items.iter().map(|i| i.weight).sum();
+        Instance {
+            items,
+            capacity: total / 3,
+        }
+    }
+}
+
+/// Fractional-relaxation upper bound from item `k` with `cap` left.
+fn upper_bound(inst: &Instance, k: usize, cap: u64, value: u64) -> u64 {
+    let mut bound = value;
+    let mut cap = cap;
+    for item in &inst.items[k..] {
+        if item.weight <= cap {
+            bound += item.value;
+            cap -= item.weight;
+        } else {
+            // Fractional take (integer ceil keeps it an upper bound).
+            bound += (item.value * cap).div_ceil(item.weight.max(1));
+            break;
+        }
+    }
+    bound
+}
+
+fn branch<C: Fork>(
+    c: &mut C,
+    inst: &Instance,
+    best: &AtomicU64,
+    k: usize,
+    cap: u64,
+    value: u64,
+    spawn_depth: usize,
+) {
+    if k == inst.items.len() {
+        best.fetch_max(value, Ordering::Relaxed);
+        return;
+    }
+    // Prune against the shared best.
+    if upper_bound(inst, k, cap, value) <= best.load(Ordering::Relaxed) {
+        return;
+    }
+    let item = inst.items[k];
+    if spawn_depth == 0 {
+        if item.weight <= cap {
+            branch(c, inst, best, k + 1, cap - item.weight, value + item.value, 0);
+        }
+        branch(c, inst, best, k + 1, cap, value, 0);
+        return;
+    }
+    if item.weight <= cap {
+        c.fork(
+            |c| {
+                branch(
+                    c,
+                    inst,
+                    best,
+                    k + 1,
+                    cap - item.weight,
+                    value + item.value,
+                    spawn_depth - 1,
+                )
+            },
+            |c| branch(c, inst, best, k + 1, cap, value, spawn_depth - 1),
+        );
+    } else {
+        branch(c, inst, best, k + 1, cap, value, spawn_depth - 1);
+    }
+}
+
+/// Solves the instance in parallel; `spawn_depth` bounds the spawning
+/// prefix of the search tree.
+pub fn knapsack_par<C: Fork>(c: &mut C, inst: &Instance, spawn_depth: usize) -> u64 {
+    let best = AtomicU64::new(0);
+    branch(c, inst, &best, 0, inst.capacity, 0, spawn_depth);
+    best.load(Ordering::Relaxed)
+}
+
+/// Exact dynamic-programming reference (pseudo-polynomial).
+pub fn knapsack_dp(inst: &Instance) -> u64 {
+    let cap = inst.capacity as usize;
+    let mut dp = vec![0u64; cap + 1];
+    for item in &inst.items {
+        let w = item.weight as usize;
+        if w > cap {
+            continue;
+        }
+        for c in (w..=cap).rev() {
+            dp[c] = dp[c].max(dp[c - w] + item.value);
+        }
+    }
+    dp[cap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+
+    #[test]
+    fn tiny_hand_instance() {
+        // values/weights chosen so greedy-by-density is suboptimal.
+        let items = vec![
+            Item { value: 60, weight: 10 },
+            Item { value: 100, weight: 20 },
+            Item { value: 120, weight: 30 },
+        ];
+        let inst = Instance {
+            items,
+            capacity: 50,
+        };
+        assert_eq!(knapsack_dp(&inst), 220);
+        let mut e = SerialExecutor::new();
+        assert_eq!(e.run(|c| knapsack_par(c, &inst, 3)), 220);
+    }
+
+    #[test]
+    fn random_instances_match_dp() {
+        let mut e = SerialExecutor::new();
+        for seed in 1..8u64 {
+            let inst = Instance::random(18, seed);
+            let want = knapsack_dp(&inst);
+            for depth in [0, 4, 18] {
+                assert_eq!(
+                    e.run(|c| knapsack_par(c, &inst, depth)),
+                    want,
+                    "seed={seed} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_wool_pool() {
+        let inst = Instance::random(22, 1234);
+        let want = knapsack_dp(&inst);
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        assert_eq!(pool.run(|h| knapsack_par(h, &inst, 10)), want);
+    }
+
+    #[test]
+    fn bound_is_admissible() {
+        let inst = Instance::random(15, 5);
+        let exact = knapsack_dp(&inst);
+        assert!(upper_bound(&inst, 0, inst.capacity, 0) >= exact);
+    }
+}

@@ -1,0 +1,14 @@
+//! Extended workloads beyond the paper's five benchmarks.
+//!
+//! These are classic task-parallel programs from the Cilk/BOTS family
+//! (several of which later Wool distributions shipped); they broaden
+//! the validation and bench surface with search (nqueens, knapsack),
+//! divide-and-conquer on data (merge/quick sort, Strassen), and the
+//! periodic-region pattern (heat). All run on every scheduler via the
+//! `Fork` trait, with independent serial references.
+
+pub mod heat;
+pub mod knapsack;
+pub mod nqueens;
+pub mod sort;
+pub mod strassen;

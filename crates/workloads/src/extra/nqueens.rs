@@ -1,0 +1,134 @@
+//! N-queens solution counting — the classic irregular task-parallel
+//! search (used by the Wool/BOTS benchmark families).
+//!
+//! The search tree is heavily unbalanced, which exercises the dynamic
+//! (revocable) cut-off of §III-B: "very unbalanced trees require more"
+//! public task descriptors, so the trip wire keeps publishing.
+
+use wool_core::Fork;
+
+/// Board state packed into three bitmasks (columns and both diagonal
+/// directions), shifted per row in the usual bit-twiddling fashion.
+#[derive(Debug, Clone, Copy)]
+struct Masks {
+    cols: u32,
+    diag1: u32,
+    diag2: u32,
+}
+
+impl Masks {
+    fn empty() -> Masks {
+        Masks {
+            cols: 0,
+            diag1: 0,
+            diag2: 0,
+        }
+    }
+
+    /// Free columns in the current row for an `n`-queens board.
+    fn free(self, n: usize) -> u32 {
+        !(self.cols | self.diag1 | self.diag2) & ((1u32 << n) - 1)
+    }
+
+    /// Masks after placing a queen at `bit` and moving to the next row.
+    fn place(self, bit: u32) -> Masks {
+        Masks {
+            cols: self.cols | bit,
+            diag1: (self.diag1 | bit) << 1,
+            diag2: (self.diag2 | bit) >> 1,
+        }
+    }
+}
+
+fn count_serial(n: usize, m: Masks) -> u64 {
+    let mut free = m.free(n);
+    if m.cols == (1u32 << n) - 1 {
+        return 1;
+    }
+    let mut total = 0;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        total += count_serial(n, m.place(bit));
+    }
+    total
+}
+
+fn count_par<C: Fork>(c: &mut C, n: usize, depth: usize, m: Masks) -> u64 {
+    if m.cols == (1u32 << n) - 1 {
+        return 1;
+    }
+    if depth == 0 {
+        return count_serial(n, m);
+    }
+    // Fork over the feasible placements of this row, pairwise.
+    fn over<C: Fork>(c: &mut C, n: usize, depth: usize, m: Masks, free: u32) -> u64 {
+        if free == 0 {
+            return 0;
+        }
+        let bit = free & free.wrapping_neg();
+        let rest = free ^ bit;
+        if rest == 0 {
+            return count_par(c, n, depth - 1, m.place(bit));
+        }
+        let (a, b) = c.fork(
+            move |c| count_par(c, n, depth - 1, m.place(bit)),
+            move |c| over(c, n, depth, m, rest),
+        );
+        a + b
+    }
+    over(c, n, depth, m, m.free(n))
+}
+
+/// Counts the solutions to the `n`-queens problem in parallel, spawning
+/// down to `spawn_depth` rows (the remaining rows run serially — set it
+/// to `n` for fully cutoff-free spawning).
+pub fn nqueens_par<C: Fork>(c: &mut C, n: usize, spawn_depth: usize) -> u64 {
+    assert!(n <= 16, "bitmask board limited to n <= 16");
+    count_par(c, n, spawn_depth, Masks::empty())
+}
+
+/// Sequential reference.
+pub fn nqueens_serial(n: usize) -> u64 {
+    assert!(n <= 16);
+    count_serial(n, Masks::empty())
+}
+
+/// Known solution counts for `n = 0..=14`.
+pub const KNOWN: [u64; 15] = [
+    1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200, 73712, 365596,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+
+    #[test]
+    fn serial_matches_known() {
+        for (n, &want) in KNOWN.iter().enumerate().take(12) {
+            assert_eq!(nqueens_serial(n), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_all_depths() {
+        let mut e = SerialExecutor::new();
+        for n in [6, 8, 9] {
+            for depth in [0, 1, 2, n] {
+                assert_eq!(
+                    e.run(|c| nqueens_par(c, n, depth)),
+                    KNOWN[n],
+                    "n={n} depth={depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_wool() {
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        assert_eq!(pool.run(|h| nqueens_par(h, 10, 10)), KNOWN[10]);
+        assert!(pool.last_report().unwrap().total.spawns > 100);
+    }
+}

@@ -1,0 +1,157 @@
+//! Parallel sorting: merge sort (stable structure, predictable tree)
+//! and quicksort (data-dependent, unbalanced tree) — the two classic
+//! fork-join sorts from the Cilk lineage.
+
+use wool_core::Fork;
+
+/// Grain below which sorting falls back to the standard library.
+pub const SORT_GRAIN: usize = 512;
+
+/// Parallel merge sort of `xs` (requires a scratch buffer of equal
+/// length).
+pub fn merge_sort<C: Fork>(c: &mut C, xs: &mut [u64], scratch: &mut [u64]) {
+    assert_eq!(xs.len(), scratch.len());
+    if xs.len() <= SORT_GRAIN {
+        xs.sort_unstable();
+        return;
+    }
+    let mid = xs.len() / 2;
+    {
+        let (xl, xr) = xs.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        c.fork(|c| merge_sort(c, xl, sl), |c| merge_sort(c, xr, sr));
+    }
+    merge_into(xs, mid, scratch);
+}
+
+/// Merges `xs[..mid]` and `xs[mid..]` (each sorted) through `scratch`.
+fn merge_into(xs: &mut [u64], mid: usize, scratch: &mut [u64]) {
+    scratch[..xs.len()].copy_from_slice(xs);
+    let (left, right) = scratch[..xs.len()].split_at(mid);
+    let (mut i, mut j) = (0, 0);
+    for slot in xs.iter_mut() {
+        if j >= right.len() || (i < left.len() && left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+/// Parallel quicksort of `xs` (in place; Hoare-style partition around a
+/// median-of-three pivot).
+pub fn quick_sort<C: Fork>(c: &mut C, xs: &mut [u64]) {
+    if xs.len() <= SORT_GRAIN {
+        xs.sort_unstable();
+        return;
+    }
+    let p = partition(xs);
+    let (lo, hi) = xs.split_at_mut(p);
+    c.fork(|c| quick_sort(c, lo), |c| quick_sort(c, &mut hi[1..]));
+}
+
+/// Lomuto partition with median-of-three pivot selection; returns the
+/// pivot's final index.
+fn partition(xs: &mut [u64]) -> usize {
+    let n = xs.len();
+    // Median of first/middle/last into position n-1.
+    let (a, b, c) = (0, n / 2, n - 1);
+    if xs[a] > xs[b] {
+        xs.swap(a, b);
+    }
+    if xs[b] > xs[c] {
+        xs.swap(b, c);
+    }
+    if xs[a] > xs[b] {
+        xs.swap(a, b);
+    }
+    xs.swap(b, n - 1);
+    let pivot = xs[n - 1];
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if xs[i] < pivot {
+            xs.swap(i, store);
+            store += 1;
+        }
+    }
+    xs.swap(store, n - 1);
+    store
+}
+
+/// Deterministic pseudo-random input for sorting benchmarks.
+pub fn random_input(len: usize, seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+
+    fn check_sorted(mut input: Vec<u64>, sort: impl FnOnce(&mut [u64])) {
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        sort(&mut input);
+        assert_eq!(input, expect);
+    }
+
+    #[test]
+    fn merge_sort_small_and_large() {
+        let mut e = SerialExecutor::new();
+        for len in [0, 1, 2, SORT_GRAIN, SORT_GRAIN + 1, 10_000] {
+            let data = random_input(len, 42);
+            check_sorted(data, |xs| {
+                let mut scratch = vec![0; xs.len()];
+                e.run(|c| merge_sort(c, xs, &mut scratch));
+            });
+        }
+    }
+
+    #[test]
+    fn quick_sort_small_and_large() {
+        let mut e = SerialExecutor::new();
+        for len in [0, 1, 3, SORT_GRAIN + 7, 10_000] {
+            let data = random_input(len, 7);
+            check_sorted(data, |xs| e.run(|c| quick_sort(c, xs)));
+        }
+    }
+
+    #[test]
+    fn quick_sort_adversarial_inputs() {
+        let mut e = SerialExecutor::new();
+        // Already sorted, reversed, constant.
+        let n = 4 * SORT_GRAIN;
+        check_sorted((0..n as u64).collect(), |xs| e.run(|c| quick_sort(c, xs)));
+        check_sorted((0..n as u64).rev().collect(), |xs| {
+            e.run(|c| quick_sort(c, xs))
+        });
+        check_sorted(vec![5; n], |xs| e.run(|c| quick_sort(c, xs)));
+    }
+
+    #[test]
+    fn parallel_on_wool_pool() {
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        let data = random_input(50_000, 99);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+
+        let mut a = data.clone();
+        let mut scratch = vec![0; a.len()];
+        pool.run(|h| merge_sort(h, &mut a, &mut scratch));
+        assert_eq!(a, expect);
+
+        let mut b = data;
+        pool.run(|h| quick_sort(h, &mut b));
+        assert_eq!(b, expect);
+    }
+}

@@ -1,0 +1,251 @@
+//! Strassen matrix multiplication — the Cilk-5 benchmark with the
+//! richest fork structure: seven recursive sub-products spawned per
+//! level, plus parallel matrix additions.
+
+use crate::mm::Matrix;
+use wool_core::Fork;
+
+/// Side length below which recursion falls back to the classical
+/// multiply.
+pub const STRASSEN_CUTOFF: usize = 64;
+
+/// A square power-of-two matrix in row-major order (the working
+/// representation of the Strassen recursion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Sq {
+    /// Zero matrix of side `n` (power of two).
+    pub fn zeros(n: usize) -> Sq {
+        assert!(n.is_power_of_two());
+        Sq {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// From a dense `Matrix` (padding up to the next power of two).
+    pub fn from_matrix(m: &Matrix) -> Sq {
+        let n = m.n().next_power_of_two();
+        let mut s = Sq::zeros(n);
+        for i in 0..m.n() {
+            for j in 0..m.n() {
+                s.data[i * n + j] = m.at(i, j);
+            }
+        }
+        s
+    }
+
+    /// Element (i, j).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Extracts quadrant `(qi, qj)` (each 0 or 1).
+    fn quadrant(&self, qi: usize, qj: usize) -> Sq {
+        let h = self.n / 2;
+        let mut q = Sq::zeros(h);
+        for i in 0..h {
+            for j in 0..h {
+                q.data[i * h + j] = self.at(qi * h + i, qj * h + j);
+            }
+        }
+        q
+    }
+
+    /// Writes `src` into quadrant `(qi, qj)`.
+    fn set_quadrant(&mut self, qi: usize, qj: usize, src: &Sq) {
+        let h = self.n / 2;
+        for i in 0..h {
+            for j in 0..h {
+                self.data[(qi * h + i) * self.n + qj * h + j] = src.data[i * h + j];
+            }
+        }
+    }
+
+    fn add(&self, o: &Sq) -> Sq {
+        Sq {
+            n: self.n,
+            data: self.data.iter().zip(&o.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+
+    fn sub(&self, o: &Sq) -> Sq {
+        Sq {
+            n: self.n,
+            data: self.data.iter().zip(&o.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Classical O(n^3) multiply (i-k-j order).
+    fn classical(&self, o: &Sq) -> Sq {
+        let n = self.n;
+        let mut out = Sq::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.at(i, k);
+                for j in 0..n {
+                    out.data[i * n + j] += aik * o.at(k, j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parallel Strassen multiply.
+pub fn strassen<C: Fork>(c: &mut C, a: &Sq, b: &Sq) -> Sq {
+    assert_eq!(a.n, b.n);
+    let n = a.n;
+    if n <= STRASSEN_CUTOFF {
+        return a.classical(b);
+    }
+    let (a11, a12, a21, a22) = (
+        a.quadrant(0, 0),
+        a.quadrant(0, 1),
+        a.quadrant(1, 0),
+        a.quadrant(1, 1),
+    );
+    let (b11, b12, b21, b22) = (
+        b.quadrant(0, 0),
+        b.quadrant(0, 1),
+        b.quadrant(1, 0),
+        b.quadrant(1, 1),
+    );
+
+    // The seven Strassen products, forked as a balanced tree.
+    let ((m1, m2), ((m3, m4), ((m5, m6), m7))) = c.fork(
+        |c| {
+            c.fork(
+                |c| {
+                    let (l, r) = (a11.add(&a22), b11.add(&b22));
+                    strassen(c, &l, &r)
+                },
+                |c| {
+                    let l = a21.add(&a22);
+                    strassen(c, &l, &b11)
+                },
+            )
+        },
+        |c| {
+            c.fork(
+                |c| {
+                    c.fork(
+                        |c| {
+                            let r = b12.sub(&b22);
+                            strassen(c, &a11, &r)
+                        },
+                        |c| {
+                            let r = b21.sub(&b11);
+                            strassen(c, &a22, &r)
+                        },
+                    )
+                },
+                |c| {
+                    c.fork(
+                        |c| {
+                            c.fork(
+                                |c| {
+                                    let l = a11.add(&a12);
+                                    strassen(c, &l, &b22)
+                                },
+                                |c| {
+                                    let (l, r) = (a21.sub(&a11), b11.add(&b12));
+                                    strassen(c, &l, &r)
+                                },
+                            )
+                        },
+                        |c| {
+                            let (l, r) = (a12.sub(&a22), b21.add(&b22));
+                            strassen(c, &l, &r)
+                        },
+                    )
+                },
+            )
+        },
+    );
+
+    let c11 = m1.add(&m4).sub(&m5).add(&m7);
+    let c12 = m3.add(&m5);
+    let c21 = m2.add(&m4);
+    let c22 = m1.sub(&m2).add(&m3).add(&m6);
+
+    let mut out = Sq::zeros(n);
+    out.set_quadrant(0, 0, &c11);
+    out.set_quadrant(0, 1, &c12);
+    out.set_quadrant(1, 0, &c21);
+    out.set_quadrant(1, 1, &c22);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm::mm_serial;
+    use ws_baseline::SerialExecutor;
+
+    fn close(a: &Sq, b: &Sq) -> bool {
+        a.data
+            .iter()
+            .zip(&b.data)
+            .all(|(x, y)| (x - y).abs() < 1e-6)
+    }
+
+    #[test]
+    fn matches_classical_small() {
+        let a = Sq::from_matrix(&Matrix::random(32, 1));
+        let b = Sq::from_matrix(&Matrix::random(32, 2));
+        let want = a.classical(&b);
+        let mut e = SerialExecutor::new();
+        let got = e.run(|c| strassen(c, &a, &b));
+        assert!(close(&got, &want));
+    }
+
+    #[test]
+    fn matches_classical_above_cutoff() {
+        let n = 2 * STRASSEN_CUTOFF;
+        let a = Sq::from_matrix(&Matrix::random(n, 3));
+        let b = Sq::from_matrix(&Matrix::random(n, 4));
+        let want = a.classical(&b);
+        let mut e = SerialExecutor::new();
+        let got = e.run(|c| strassen(c, &a, &b));
+        assert!(close(&got, &want));
+    }
+
+    #[test]
+    fn matches_mm_module() {
+        let m1 = Matrix::random(48, 5);
+        let m2 = Matrix::random(48, 6);
+        let dense = mm_serial(&m1, &m2);
+        let (a, b) = (Sq::from_matrix(&m1), Sq::from_matrix(&m2));
+        let mut e = SerialExecutor::new();
+        let got = e.run(|c| strassen(c, &a, &b));
+        for i in 0..48 {
+            for j in 0..48 {
+                assert!((got.at(i, j) - dense.at(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_wool_pool() {
+        let n = 2 * STRASSEN_CUTOFF;
+        let a = Sq::from_matrix(&Matrix::random(n, 7));
+        let b = Sq::from_matrix(&Matrix::random(n, 8));
+        let want = a.classical(&b);
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        let got = pool.run(|h| strassen(h, &a, &b));
+        assert!(close(&got, &want));
+        // 7 products per level => at least 6 spawns at the top level.
+        assert!(pool.last_report().unwrap().total.spawns >= 6);
+    }
+}

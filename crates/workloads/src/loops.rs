@@ -1,0 +1,127 @@
+//! Parallel loop helpers built on the binary `fork`.
+//!
+//! [`par_for`] is the recursive-splitting loop the TBB-style programs
+//! use (e.g. `ssf`); contrast with `Fork::for_each_spawn`, the flat
+//! one-task-per-iteration spawn loop the paper's `mm` uses.
+
+use wool_core::Fork;
+
+/// Runs `body(i)` for every `i` in `lo..hi`, recursively splitting the
+/// range in half until it is at most `grain` long.
+pub fn par_for<C, F>(c: &mut C, lo: usize, hi: usize, grain: usize, body: &F)
+where
+    C: Fork,
+    F: Fn(&mut C, usize) + Sync,
+{
+    debug_assert!(grain >= 1);
+    if hi <= lo {
+        return;
+    }
+    if hi - lo <= grain {
+        for i in lo..hi {
+            body(c, i);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    c.fork(
+        |c| par_for(c, lo, mid, grain, body),
+        |c| par_for(c, mid, hi, grain, body),
+    );
+}
+
+/// Parallel reduction over `lo..hi` with the same splitting rule:
+/// `combine(map(i), ...)` over the range. `combine` must be associative.
+pub fn par_reduce<C, T, M, R>(
+    c: &mut C,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    identity: T,
+    map: &M,
+    combine: &R,
+) -> T
+where
+    C: Fork,
+    T: Send + Clone,
+    M: Fn(&mut C, usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    if hi <= lo {
+        return identity;
+    }
+    if hi - lo <= grain {
+        let mut acc = identity;
+        for i in lo..hi {
+            let v = map(c, i);
+            acc = combine(acc, v);
+        }
+        return acc;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let id_left = identity.clone();
+    let id_right = identity;
+    let (a, b) = c.fork(
+        move |c| par_reduce(c, lo, mid, grain, id_left, map, combine),
+        move |c| par_reduce(c, mid, hi, grain, id_right, map, combine),
+    );
+    combine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use ws_baseline::SerialExecutor;
+
+    #[test]
+    fn par_for_covers_range_once() {
+        let mut e = SerialExecutor::new();
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        e.run(|c| {
+            par_for(c, 0, 97, 4, &|_c, i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_and_single() {
+        let mut e = SerialExecutor::new();
+        let n = AtomicUsize::new(0);
+        e.run(|c| {
+            par_for(c, 5, 5, 1, &|_c, _| {
+                n.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 0);
+        e.run(|c| {
+            par_for(c, 5, 6, 1, &|_c, i| {
+                n.fetch_add(i, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let mut e = SerialExecutor::new();
+        let total = e.run(|c| {
+            par_reduce(c, 0, 1000, 16, 0u64, &|_c, i| i as u64, &|a, b| a + b)
+        });
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_for_on_wool() {
+        let mut pool: wool_core::Pool = wool_core::Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..512).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|h| {
+            par_for(h, 0, 512, 8, &|_h, i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,253 @@
+//! Workload specifications: Table I's rows as data.
+//!
+//! Each [`WorkloadSpec`] names a benchmark, its parameters and its
+//! repetition count, exactly as the paper's Table I lists them. The
+//! bench harness enumerates these to regenerate the tables and figures;
+//! `reps` can be scaled down for quick runs (`scale_reps`).
+
+use wool_core::{Fork, Job};
+
+use crate::cholesky::{cholesky, spd_random, QTree};
+use crate::fib::fib;
+use crate::mm::{mm_par, Matrix};
+use crate::ssf::{fib_string, ssf_par};
+use crate::stress::stress;
+
+/// Which benchmark program a spec runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// fib(n): `params = (n, 0)`.
+    Fib,
+    /// cholesky(rows, nonzeros).
+    Cholesky,
+    /// mm(rows).
+    Mm,
+    /// ssf(n) over the Fibonacci string s_n.
+    Ssf,
+    /// stress(height) with the given leaf iterations.
+    Stress,
+}
+
+/// One Table I row: a program, its parameters, and the repetition count
+/// used to reach a measurable execution time.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Program.
+    pub kind: WorkloadKind,
+    /// First parameter (n / rows / height).
+    pub p1: usize,
+    /// Second parameter (nonzeros for cholesky, leaf iterations for
+    /// stress, 0 otherwise).
+    pub p2: usize,
+    /// Repetitions of the kernel within one run.
+    pub reps: u64,
+}
+
+impl WorkloadSpec {
+    /// Human-readable name, e.g. `cholesky(500,2k)x1024`.
+    pub fn name(&self) -> String {
+        let base = match self.kind {
+            WorkloadKind::Fib => format!("fib({})", self.p1),
+            WorkloadKind::Cholesky => format!("cholesky({},{})", self.p1, self.p2),
+            WorkloadKind::Mm => format!("mm({})", self.p1),
+            WorkloadKind::Ssf => format!("ssf({})", self.p1),
+            WorkloadKind::Stress => format!("stress({},{})", self.p1, self.p2),
+        };
+        format!("{base}x{}", self.reps)
+    }
+
+    /// The paper's short program name.
+    pub fn program(&self) -> &'static str {
+        match self.kind {
+            WorkloadKind::Fib => "fib",
+            WorkloadKind::Cholesky => "cholesky",
+            WorkloadKind::Mm => "mm",
+            WorkloadKind::Ssf => "ssf",
+            WorkloadKind::Stress => "stress",
+        }
+    }
+
+    /// Returns a copy with repetitions scaled by `factor` (at least 1).
+    pub fn scale_reps(&self, factor: f64) -> WorkloadSpec {
+        let reps = ((self.reps as f64 * factor).round() as u64).max(1);
+        WorkloadSpec { reps, ..self.clone() }
+    }
+
+    /// Builds the runnable job (pre-generating input data so that setup
+    /// cost stays outside the measured region).
+    pub fn job(&self) -> WorkloadJob {
+        let data = match self.kind {
+            WorkloadKind::Cholesky => {
+                let m = spd_random(self.p1, self.p2, 0xC0DE + self.p1 as u64);
+                JobData::Cholesky {
+                    size: m.size,
+                    tree: m.tree,
+                }
+            }
+            WorkloadKind::Mm => JobData::Mm {
+                a: Matrix::random(self.p1, 11),
+                b: Matrix::random(self.p1, 13),
+            },
+            WorkloadKind::Ssf => JobData::Ssf {
+                s: fib_string(self.p1 as u32),
+            },
+            _ => JobData::None,
+        };
+        WorkloadJob {
+            kind: self.kind,
+            p1: self.p1,
+            p2: self.p2,
+            reps: self.reps,
+            data,
+        }
+    }
+}
+
+/// Pre-generated input data for a job.
+enum JobData {
+    None,
+    Cholesky { size: usize, tree: QTree },
+    Mm { a: Matrix, b: Matrix },
+    Ssf { s: Vec<u8> },
+}
+
+/// A runnable workload: `reps` repetitions of the kernel, serialized on
+/// the root worker (the paper's program structure).
+pub struct WorkloadJob {
+    kind: WorkloadKind,
+    p1: usize,
+    p2: usize,
+    reps: u64,
+    data: JobData,
+}
+
+impl Job<f64> for WorkloadJob {
+    fn call<C: Fork>(self, ctx: &mut C) -> f64 {
+        let mut check = 0.0f64;
+        match (self.kind, self.data) {
+            (WorkloadKind::Fib, _) => {
+                for _ in 0..self.reps {
+                    check += fib(ctx, self.p1 as u64) as f64;
+                }
+            }
+            (WorkloadKind::Stress, _) => {
+                check += stress(ctx, self.p1 as u32, self.p2 as u64, self.reps) as f64 % 1e9;
+            }
+            (WorkloadKind::Cholesky, JobData::Cholesky { size, tree }) => {
+                for _ in 0..self.reps {
+                    let a = tree.clone();
+                    let l = cholesky(ctx, size, a);
+                    check += l.abs_sum();
+                }
+            }
+            (WorkloadKind::Mm, JobData::Mm { a, b }) => {
+                for _ in 0..self.reps {
+                    let c = mm_par(ctx, &a, &b);
+                    check += c.checksum();
+                }
+            }
+            (WorkloadKind::Ssf, JobData::Ssf { s }) => {
+                for _ in 0..self.reps {
+                    let r = ssf_par(ctx, &s, 1);
+                    check += r.checksum() as f64 % 1e9;
+                }
+            }
+            _ => unreachable!("job data matches kind by construction"),
+        }
+        check
+    }
+}
+
+/// All Table I workload rows, in table order.
+pub fn all_table1_specs() -> Vec<WorkloadSpec> {
+    use WorkloadKind::*;
+    let mut v = Vec::new();
+    // cholesky: (rows, nnz) x reps
+    for (p1, p2, reps) in [
+        (250, 1000, 4096),
+        (500, 2000, 1024),
+        (1000, 4000, 256),
+        (2000, 8000, 64),
+        (4000, 16000, 16),
+    ] {
+        v.push(WorkloadSpec { kind: Cholesky, p1, p2, reps });
+    }
+    // mm: rows x reps
+    for (p1, reps) in [(64, 16384), (128, 2048), (256, 256), (512, 32)] {
+        v.push(WorkloadSpec { kind: Mm, p1, p2: 0, reps });
+    }
+    // ssf: n x reps
+    for (p1, reps) in [(12, 16384), (13, 8192), (14, 4096), (15, 2048), (16, 1024)] {
+        v.push(WorkloadSpec { kind: Ssf, p1, p2: 0, reps });
+    }
+    // stress leaf 256 iterations: height x reps
+    for (p1, reps) in [
+        (7, 131072),
+        (8, 65536),
+        (9, 32768),
+        (10, 16384),
+        (11, 8192),
+    ] {
+        v.push(WorkloadSpec { kind: Stress, p1, p2: 256, reps });
+    }
+    // stress leaf 4096 iterations: height x reps
+    for (p1, reps) in [
+        (3, 131072),
+        (4, 65536),
+        (5, 32768),
+        (6, 16384),
+        (7, 8192),
+    ] {
+        v.push(WorkloadSpec { kind: Stress, p1, p2: 4096, reps });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+    use wool_core::Executor;
+
+    #[test]
+    fn table1_has_24_rows() {
+        // 5 cholesky + 4 mm + 5 ssf + 5 + 5 stress = 24 (the paper's
+        // Table I row count).
+        assert_eq!(all_table1_specs().len(), 24);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        let specs = all_table1_specs();
+        assert_eq!(specs[0].name(), "cholesky(250,1000)x4096");
+        assert!(specs.iter().any(|s| s.name() == "mm(64)x16384"));
+        assert!(specs.iter().any(|s| s.name() == "stress(7,256)x131072"));
+    }
+
+    #[test]
+    fn scale_reps_floors_at_one() {
+        let s = all_table1_specs()[0].scale_reps(0.000001);
+        assert_eq!(s.reps, 1);
+        let s2 = all_table1_specs()[0].scale_reps(0.5);
+        assert_eq!(s2.reps, 2048);
+    }
+
+    #[test]
+    fn jobs_run_and_agree_across_executors() {
+        // Tiny versions of each kind: serial and wool must agree.
+        let tiny = [
+            WorkloadSpec { kind: WorkloadKind::Fib, p1: 15, p2: 0, reps: 2 },
+            WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 64, p2: 200, reps: 2 },
+            WorkloadSpec { kind: WorkloadKind::Mm, p1: 24, p2: 0, reps: 2 },
+            WorkloadSpec { kind: WorkloadKind::Ssf, p1: 9, p2: 0, reps: 2 },
+            WorkloadSpec { kind: WorkloadKind::Stress, p1: 4, p2: 32, reps: 3 },
+        ];
+        let mut serial = SerialExecutor::new();
+        let mut pool: wool_core::Pool = wool_core::Pool::new(2);
+        for spec in &tiny {
+            let a = serial.run_job(spec.job());
+            let b = pool.run_job(spec.job());
+            assert_eq!(a, b, "{}", spec.name());
+        }
+    }
+}

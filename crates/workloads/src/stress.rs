@@ -1,0 +1,129 @@
+//! The stress micro-benchmark (§IV-A).
+//!
+//! "A micro benchmark written to have a precisely controllable
+//! parallelism and granularity. The program creates a balanced binary
+//! tree of tasks with each leaf executing a simple loop making no
+//! memory references. The granularity of the leaf tasks can be varied
+//! by varying the number of iterations of the loop and the granularity
+//! of the parallel regions is controlled by that value and the depth of
+//! the tree."
+//!
+//! Table I uses two families: leaf size 256 iterations (~512 cycles,
+//! heights 7–11) and leaf size 4096 iterations (~8K cycles, heights
+//! 3–7); execution is serialized between repetitions of the tree.
+
+use wool_core::Fork;
+
+/// The leaf computation: a register-only loop with a data dependence so
+/// the optimizer cannot collapse it. Returns a checksum.
+#[inline(never)]
+pub fn leaf(iters: u64) -> u64 {
+    let mut x = iters | 1;
+    for _ in 0..iters {
+        // One multiply + rotate per iteration; latency-bound, no memory.
+        x = x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(7);
+    }
+    std::hint::black_box(x)
+}
+
+/// A balanced binary tree of tasks of the given `height`; each of the
+/// `2^height` leaves runs [`leaf`] with `leaf_iters` iterations.
+/// Returns the sum of leaf checksums.
+pub fn tree<C: Fork>(c: &mut C, height: u32, leaf_iters: u64) -> u64 {
+    if height == 0 {
+        return leaf(leaf_iters);
+    }
+    let (a, b) = c.fork(
+        |c| tree(c, height - 1, leaf_iters),
+        |c| tree(c, height - 1, leaf_iters),
+    );
+    a.wrapping_add(b)
+}
+
+/// Sequential reference for [`tree`].
+pub fn tree_serial(height: u32, leaf_iters: u64) -> u64 {
+    if height == 0 {
+        return leaf(leaf_iters);
+    }
+    tree_serial(height - 1, leaf_iters).wrapping_add(tree_serial(height - 1, leaf_iters))
+}
+
+/// Runs `reps` repetitions of the tree, serialized on the caller
+/// (the paper's "execution is serialized between the trees").
+pub fn stress<C: Fork>(c: &mut C, height: u32, leaf_iters: u64, reps: u64) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..reps {
+        acc = acc.wrapping_add(tree(c, height, leaf_iters));
+    }
+    acc
+}
+
+/// The steal-cost configuration of Table III / Podobas et al.: a binary
+/// tree with one leaf per processor, measuring the cost to fan work out
+/// to `2^height` processors and join it back.
+pub fn steal_cost_tree<C: Fork>(c: &mut C, height: u32, leaf_iters: u64) -> u64 {
+    tree(c, height, leaf_iters)
+}
+
+/// Number of tasks one tree spawns (internal nodes count 1 spawn each).
+pub fn tree_spawn_count(height: u32) -> u64 {
+    (1u64 << height) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ws_baseline::SerialExecutor;
+
+    #[test]
+    fn leaf_is_deterministic() {
+        assert_eq!(leaf(256), leaf(256));
+        assert_ne!(leaf(256), leaf(257));
+        assert_eq!(leaf(0), 1); // zero iterations: initial value
+    }
+
+    #[test]
+    fn tree_matches_serial() {
+        let mut e = SerialExecutor::new();
+        for h in 0..8 {
+            assert_eq!(e.run(|c| tree(c, h, 64)), tree_serial(h, 64), "h={h}");
+        }
+    }
+
+    #[test]
+    fn stress_reps_accumulate() {
+        let mut e = SerialExecutor::new();
+        let one = e.run(|c| stress(c, 3, 16, 1));
+        let three = e.run(|c| stress(c, 3, 16, 3));
+        assert_eq!(three, one.wrapping_mul(3));
+    }
+
+    #[test]
+    fn spawn_count() {
+        assert_eq!(tree_spawn_count(0), 0);
+        assert_eq!(tree_spawn_count(1), 1);
+        assert_eq!(tree_spawn_count(3), 7);
+        assert_eq!(tree_spawn_count(10), 1023);
+    }
+
+    #[test]
+    fn on_wool_pool_spawns_match() {
+        let mut pool: wool_core::Pool = wool_core::Pool::new(2);
+        let expect = tree_serial(6, 32);
+        let got = pool.run(|h| tree(h, 6, 32));
+        assert_eq!(got, expect);
+        assert_eq!(
+            pool.last_report().unwrap().total.spawns,
+            tree_spawn_count(6)
+        );
+    }
+
+    #[test]
+    fn on_baseline_pools() {
+        let expect = tree_serial(5, 32);
+        let mut tbb = ws_baseline::tbb_like(2);
+        assert_eq!(tbb.run(|c| tree(c, 5, 32)), expect);
+        let mut cilk = ws_baseline::cilk_like(2);
+        assert_eq!(cilk.run(|c| tree(c, 5, 32)), expect);
+    }
+}

@@ -1,0 +1,309 @@
+//! Heap-allocated task frames for the baseline schedulers.
+//!
+//! The Wool paper contrasts the direct task stack with the designs of
+//! Cilk++ and TBB, which use "free list allocation of task structures,
+//! keeping only pointers in their task queues". The baselines here
+//! reproduce that structure: every spawn allocates a [`TaskNode`] on the
+//! heap and pushes a type-erased pointer to its [`TaskHeader`] onto a
+//! deque. (We rely on the allocator's thread-local caching to play the
+//! role of the free list; the cost profile — pointer chasing, allocator
+//! traffic, a cache line per task — is the one the paper attributes to
+//! these systems.)
+
+use std::any::Any;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::AtomicUsize;
+
+/// Header state: queued, not yet taken by anyone.
+pub const PENDING: usize = 0;
+/// Header state: completed successfully (result stored).
+pub const DONE: usize = 1;
+/// Header state: the task panicked (payload stored).
+pub const DONE_PANIC: usize = 2;
+/// Header state base: `STOLEN(i)` is `STOLEN_BASE + i`.
+pub const STOLEN_BASE: usize = 3;
+
+/// True if the state denotes completion (successful or panicked).
+#[inline]
+pub fn is_done(s: usize) -> bool {
+    s == DONE || s == DONE_PANIC
+}
+
+/// A unit of work executable by a baseline scheduler with context `C`.
+///
+/// Mirrors `wool-core`'s internal task trait; a named trait (rather than
+/// bare `FnOnce`) lets `for_each_spawn` give every iteration the same
+/// concrete type.
+pub trait NodeBody<C>: Send + Sized {
+    /// Result type.
+    type Output: Send;
+    /// Runs the task.
+    fn run(self, ctx: &mut C) -> Self::Output;
+}
+
+/// Adapter for plain closures.
+pub struct ClosureBody<F>(pub F);
+
+impl<C, F, R> NodeBody<C> for ClosureBody<F>
+where
+    F: FnOnce(&mut C) -> R + Send,
+    R: Send,
+{
+    type Output = R;
+    #[inline(always)]
+    fn run(self, ctx: &mut C) -> R {
+        (self.0)(ctx)
+    }
+}
+
+/// One `for_each_spawn` iteration: shared body reference plus an index.
+pub struct ForEachBody<'a, F> {
+    /// The loop body.
+    pub body: &'a F,
+    /// This iteration's index.
+    pub i: usize,
+}
+
+impl<'a, C, F> NodeBody<C> for ForEachBody<'a, F>
+where
+    F: Fn(&mut C, usize) + Sync,
+{
+    type Output = ();
+    #[inline(always)]
+    fn run(self, ctx: &mut C) {
+        (self.body)(ctx, self.i)
+    }
+}
+
+/// How a node should be disposed of by [`TaskHeader::finalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The body was never executed: drop it.
+    DropUnexecuted,
+    /// The node completed successfully: drop the result.
+    DropResult,
+    /// The node panicked: the payload is dropped with the node.
+    DropPanic,
+}
+
+/// The type-erased prefix of every task node; deques store
+/// `*mut TaskHeader`.
+pub struct TaskHeader {
+    /// PENDING → STOLEN(i) → DONE/DONE_PANIC (stolen path), or consumed
+    /// directly by the owner's inline pop.
+    pub state: AtomicUsize,
+    /// Monomorphized executor: runs the body with the (type-erased)
+    /// worker context, writes the result or panic payload into the node,
+    /// and returns success. The **caller** publishes DONE/DONE_PANIC.
+    pub exec: unsafe fn(*mut TaskHeader, *mut ()) -> bool,
+    /// Monomorphized disposer: drops the indicated contents and frees
+    /// the allocation with the correct layout. Used on unwind paths
+    /// where the joining code cannot name the node's concrete type.
+    pub finalize: unsafe fn(*mut TaskHeader, Fate),
+}
+
+/// A full task frame: header + body + result storage.
+#[repr(C)] // header first: `*mut TaskNode<B>` casts to `*mut TaskHeader`
+pub struct TaskNode<B: NodeBody<C>, C> {
+    /// Type-erased prefix.
+    pub header: TaskHeader,
+    body: ManuallyDrop<B>,
+    result: MaybeUninit<B::Output>,
+    panic: Option<Box<dyn Any + Send>>,
+    _ctx: std::marker::PhantomData<fn(&mut C)>,
+}
+
+/// Allocates a node for `body`, returning the erased header pointer.
+pub fn alloc_node<B, C>(body: B) -> *mut TaskHeader
+where
+    B: NodeBody<C>,
+{
+    let node = Box::new(TaskNode::<B, C> {
+        header: TaskHeader {
+            state: AtomicUsize::new(PENDING),
+            exec: exec_node::<B, C>,
+            finalize: finalize_node::<B, C>,
+        },
+        body: ManuallyDrop::new(body),
+        result: MaybeUninit::uninit(),
+        panic: None,
+        _ctx: std::marker::PhantomData,
+    });
+    Box::into_raw(node) as *mut TaskHeader
+}
+
+/// The erased executor stored in every header.
+///
+/// # Safety
+/// `hdr` must point to a live `TaskNode<B, C>` whose body has not been
+/// taken; `ctx` must point to a valid `C` for the duration of the call.
+unsafe fn exec_node<B, C>(hdr: *mut TaskHeader, ctx: *mut ()) -> bool
+where
+    B: NodeBody<C>,
+{
+    let node = hdr as *mut TaskNode<B, C>;
+    let body = ManuallyDrop::take(&mut (*node).body);
+    let ctx = &mut *(ctx as *mut C);
+    match std::panic::catch_unwind(AssertUnwindSafe(|| body.run(ctx))) {
+        Ok(r) => {
+            (*node).result.write(r);
+            true
+        }
+        Err(p) => {
+            (*node).panic = Some(p);
+            false
+        }
+    }
+}
+
+/// The erased disposer stored in every header.
+///
+/// # Safety
+/// `hdr` must point to a `TaskNode<B, C>` in the state implied by
+/// `fate`; the pointer must not be used afterwards.
+unsafe fn finalize_node<B, C>(hdr: *mut TaskHeader, fate: Fate)
+where
+    B: NodeBody<C>,
+{
+    let node = hdr as *mut TaskNode<B, C>;
+    match fate {
+        Fate::DropUnexecuted => ManuallyDrop::drop(&mut (*node).body),
+        Fate::DropResult => (*node).result.assume_init_drop(),
+        Fate::DropPanic => { /* the Option<Box<dyn Any>> field drops with the node */ }
+    }
+    drop(Box::from_raw(node));
+}
+
+/// Takes the body out of a node that was popped back by its owner
+/// (inline execution) and frees the allocation.
+///
+/// # Safety
+/// `hdr` must be the unique live pointer to an unexecuted
+/// `TaskNode<B, C>` allocated by [`alloc_node`] with these types.
+pub unsafe fn take_body_and_free<B, C>(hdr: *mut TaskHeader) -> B
+where
+    B: NodeBody<C>,
+{
+    let node = hdr as *mut TaskNode<B, C>;
+    let body = ManuallyDrop::take(&mut (*node).body);
+    drop(Box::from_raw(node));
+    body
+}
+
+/// Reads the result of a completed (DONE) node and frees it.
+///
+/// # Safety
+/// Caller must have Acquire-observed `DONE` on `hdr.state` and be the
+/// joining owner.
+pub unsafe fn take_result_and_free<B, C>(hdr: *mut TaskHeader) -> B::Output
+where
+    B: NodeBody<C>,
+{
+    let node = hdr as *mut TaskNode<B, C>;
+    let r = (*node).result.assume_init_read();
+    drop(Box::from_raw(node));
+    r
+}
+
+/// Reads the panic payload of a DONE_PANIC node and frees it.
+///
+/// # Safety
+/// Caller must have Acquire-observed `DONE_PANIC` on `hdr.state` and be
+/// the joining owner.
+pub unsafe fn take_panic_and_free<B, C>(hdr: *mut TaskHeader) -> Box<dyn Any + Send>
+where
+    B: NodeBody<C>,
+{
+    let node = hdr as *mut TaskNode<B, C>;
+    let p = (*node).panic.take().expect("panicked node has a payload");
+    drop(Box::from_raw(node));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    struct Ctx(u64);
+
+    /// Helper pinning the body type across alloc/take.
+    unsafe fn alloc_then_take<B: NodeBody<Ctx>>(body: B) -> B {
+        let hdr = alloc_node::<B, Ctx>(body);
+        take_body_and_free::<B, Ctx>(hdr)
+    }
+
+    #[test]
+    fn inline_roundtrip() {
+        // SAFETY: unique pointer, correct types.
+        let body = unsafe { alloc_then_take(ClosureBody(|c: &mut Ctx| c.0 * 2)) };
+        let mut ctx = Ctx(21);
+        assert_eq!(body.run(&mut ctx), 42);
+    }
+
+    /// A nameable body type so tests can spell the generic parameters of
+    /// the take_* functions exactly.
+    struct AddOne;
+    impl NodeBody<Ctx> for AddOne {
+        type Output = u64;
+        fn run(self, ctx: &mut Ctx) -> u64 {
+            ctx.0 + 1
+        }
+    }
+
+    struct Boom;
+    impl NodeBody<Ctx> for Boom {
+        type Output = u64;
+        fn run(self, _: &mut Ctx) -> u64 {
+            panic!("node-panic")
+        }
+    }
+
+    #[test]
+    fn stolen_style_roundtrip() {
+        let hdr = alloc_node::<AddOne, Ctx>(AddOne);
+        let mut ctx = Ctx(9);
+        // SAFETY: as a thief would: exec then read result.
+        unsafe {
+            let ok = ((*hdr).exec)(hdr, &mut ctx as *mut Ctx as *mut ());
+            assert!(ok);
+            (*hdr).state.store(DONE, Ordering::Release);
+            let r = take_result_and_free::<AddOne, Ctx>(hdr);
+            assert_eq!(r, 10);
+        }
+    }
+
+    #[test]
+    fn panic_roundtrip() {
+        let hdr = alloc_node::<Boom, Ctx>(Boom);
+        let mut ctx = Ctx(0);
+        // SAFETY: thief-style execution with matching types.
+        unsafe {
+            let ok = ((*hdr).exec)(hdr, &mut ctx as *mut Ctx as *mut ());
+            assert!(!ok);
+            (*hdr).state.store(DONE_PANIC, Ordering::Release);
+            let p = take_panic_and_free::<Boom, Ctx>(hdr);
+            assert_eq!(*p.downcast_ref::<&str>().unwrap(), "node-panic");
+        }
+    }
+
+    #[test]
+    fn for_each_body_runs_with_index() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        let body =
+            |_: &mut Ctx, i: usize| _ = hits.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+        let fe = ForEachBody { body: &body, i: 7 };
+        let mut ctx = Ctx(0);
+        fe.run(&mut ctx);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn state_helpers() {
+        assert!(is_done(DONE));
+        assert!(is_done(DONE_PANIC));
+        assert!(!is_done(PENDING));
+        assert!(!is_done(STOLEN_BASE + 4));
+    }
+}

@@ -1,0 +1,121 @@
+//! The serial executor: runs every "parallel" construct inline.
+//!
+//! This provides the paper's `T_S` — "sequential execution time (with
+//! no task overheads)" — against which absolute speedups and the
+//! per-task overhead `(T_1 - T_S) / N_T` of Table II are computed.
+//! Closures are called directly, so the optimizer sees exactly the code
+//! a hand-written sequential program would produce.
+
+use wool_core::{Executor, Fork, Job};
+
+/// The serial fork-join context: everything runs inline.
+#[derive(Debug, Default)]
+pub struct SerialCtx {
+    _private: (),
+}
+
+impl Fork for SerialCtx {
+    #[inline(always)]
+    fn fork<RA, RB, FA, FB>(&mut self, a: FA, b: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&mut Self) -> RA + Send,
+        FB: FnOnce(&mut Self) -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        // Program order: the CALL branch first, then the "spawned" one
+        // (which a single Wool worker would run at the join).
+        let ra = a(self);
+        let rb = b(self);
+        (ra, rb)
+    }
+
+    #[inline(always)]
+    fn for_each_spawn<F>(&mut self, n: usize, body: &F)
+    where
+        F: Fn(&mut Self, usize) + Sync,
+    {
+        // Mirror the parallel execution order: the direct call is
+        // iteration 0, spawned iterations join LIFO afterwards — but
+        // since iterations must be independent, plain order is
+        // observationally equivalent and fastest.
+        for i in 0..n {
+            body(self, i);
+        }
+    }
+}
+
+/// The serial executor.
+#[derive(Debug, Default)]
+pub struct SerialExecutor;
+
+impl SerialExecutor {
+    /// Creates a serial executor.
+    pub fn new() -> Self {
+        SerialExecutor
+    }
+
+    /// Runs a closure with a serial context.
+    pub fn run<R>(&mut self, f: impl FnOnce(&mut SerialCtx) -> R) -> R {
+        let mut ctx = SerialCtx::default();
+        f(&mut ctx)
+    }
+}
+
+impl Executor for SerialExecutor {
+    fn run_job<R: Send, J: Job<R>>(&mut self, job: J) -> R {
+        let mut ctx = SerialCtx::default();
+        job.call(&mut ctx)
+    }
+
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> String {
+        "serial".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib<C: Fork>(c: &mut C, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = c.fork(|c| fib(c, n - 1), |c| fib(c, n - 2));
+        a + b
+    }
+
+    #[test]
+    fn serial_fib() {
+        let mut e = SerialExecutor::new();
+        assert_eq!(e.run(|c| fib(c, 20)), 6765);
+    }
+
+    #[test]
+    fn serial_for_each_in_order() {
+        let mut e = SerialExecutor::new();
+        let log = std::sync::Mutex::new(Vec::new());
+        e.run(|c| {
+            c.for_each_spawn(5, &|_, i| log.lock().unwrap().push(i));
+        });
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn serial_executor_traits() {
+        struct J;
+        impl Job<u32> for J {
+            fn call<C: Fork>(self, _ctx: &mut C) -> u32 {
+                7
+            }
+        }
+        let mut e = SerialExecutor::new();
+        assert_eq!(e.run_job(J), 7);
+        assert_eq!(e.workers(), 1);
+        assert_eq!(Executor::name(&e), "serial");
+    }
+}

@@ -1,0 +1,68 @@
+//! Work-stealing deque substrates.
+//!
+//! This crate provides the task-pool data structures that the baseline
+//! schedulers in `ws-baseline` are built on, mirroring the designs that
+//! the Wool paper (Faxén, ICPP 2010) compares against:
+//!
+//! * [`chase_lev`] — an owner/thief circular deque in the style of
+//!   Chase & Lev (SPAA 2005) with the C11 memory orderings of
+//!   Lê et al. (PPoPP 2013). This is the structure used (in spirit) by
+//!   TBB, Cilk-5's THE protocol descendants and Rayon: the owner pushes
+//!   and pops at the *bottom*, thieves steal at the *top*, and the two
+//!   ends are synchronized with a sequentially-consistent fence on the
+//!   owner's pop — exactly the "Dijkstra style" fence cost the paper
+//!   argues the direct task stack avoids.
+//! * [`locked`] — a mutex-protected deque with the three steal protocols
+//!   evaluated in §IV-C of the paper (*base*, *peek*, *trylock*).
+//! * [`idempotent`] — the idempotent LIFO extraction of Michael et al.
+//!   (PPoPP 2009), the paper's named fence-free alternative; provided
+//!   as a substrate with at-least-once semantics (not used by the
+//!   exactly-once schedulers).
+//!
+//! Both structures are generic over `T: Send`; the schedulers instantiate
+//! them with raw pointers to heap-allocated task frames (the paper's
+//! "free list allocation of task structures, keeping only pointers in
+//! their task queues").
+
+#![warn(missing_docs)]
+
+pub mod chase_lev;
+pub mod idempotent;
+pub mod locked;
+
+pub use chase_lev::ChaseLev;
+pub use idempotent::IdempotentLifo;
+pub use locked::{LockedDeque, StealProtocol};
+
+/// Outcome of a steal attempt, shared by both deque families.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A task was successfully taken from the victim.
+    Success(T),
+    /// The pool was observed empty (or all tasks were private).
+    Empty,
+    /// The attempt lost a race (CAS failure, lock contention, ...) and
+    /// may be retried immediately.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the attempt should be retried without treating the victim
+    /// as empty.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// True if the victim was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}

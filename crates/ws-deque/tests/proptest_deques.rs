@@ -1,0 +1,157 @@
+//! Property-based and stress tests for the deque substrates.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use ws_deque::chase_lev::OwnerToken;
+use ws_deque::{ChaseLev, LockedDeque, StealProtocol};
+
+/// Operations on a deque, executed single-threaded against a model.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u16),
+    Pop,
+    Steal,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Steal),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    /// Chase–Lev agrees with a VecDeque model on any sequential history.
+    #[test]
+    fn chase_lev_matches_model(ops in ops()) {
+        let d = ChaseLev::new();
+        // SAFETY: single-threaded test is the unique owner.
+        let mut tok = unsafe { OwnerToken::new() };
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    d.push(v, &mut tok);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(d.pop(&mut tok), model.pop_back());
+                }
+                Op::Steal => {
+                    prop_assert_eq!(d.steal().success(), model.pop_front());
+                }
+            }
+        }
+        // Drain and compare the remainder.
+        let mut rest = Vec::new();
+        while let Some(v) = d.pop(&mut tok) {
+            rest.push(v);
+        }
+        rest.reverse();
+        prop_assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// The locked deque agrees with the same model under any protocol.
+    #[test]
+    fn locked_matches_model(ops in ops(), proto in 0usize..3) {
+        let proto = StealProtocol::ALL[proto];
+        let d = LockedDeque::new();
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    d.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(d.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    // Uncontended: never Retry.
+                    prop_assert_eq!(d.steal(proto).success(), model.pop_front());
+                }
+            }
+        }
+        prop_assert_eq!(d.len_hint(), model.len());
+    }
+
+    /// Length hints never exceed the true maximum across a history.
+    #[test]
+    fn chase_lev_len_hint_bounded(ops in ops()) {
+        let d = ChaseLev::new();
+        // SAFETY: unique owner.
+        let mut tok = unsafe { OwnerToken::new() };
+        let mut live = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(v) => { d.push(v, &mut tok); live += 1; }
+                Op::Pop => { if d.pop(&mut tok).is_some() { live -= 1; } }
+                Op::Steal => { if d.steal().success().is_some() { live -= 1; } }
+            }
+            prop_assert_eq!(d.len_hint(), live);
+        }
+    }
+}
+
+/// Multi-threaded stress: with one owner and several thieves, the union
+/// of popped and stolen elements is exactly the pushed multiset.
+#[test]
+fn chase_lev_concurrent_multiset() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    const PUSHES: u64 = 50_000;
+    const THIEVES: usize = 3;
+
+    let d: Arc<ChaseLev<u64>> = Arc::new(ChaseLev::new());
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen_sum = Arc::new(AtomicU64::new(0));
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let done = Arc::clone(&done);
+            let sum = Arc::clone(&stolen_sum);
+            std::thread::spawn(move || loop {
+                match d.steal() {
+                    ws_deque::Steal::Success(v) => {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                    ws_deque::Steal::Retry => {}
+                    ws_deque::Steal::Empty => {
+                        if done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // SAFETY: this thread is the unique owner.
+    let mut tok = unsafe { OwnerToken::new() };
+    let mut kept = 0u64;
+    for v in 1..=PUSHES {
+        d.push(v, &mut tok);
+        if v % 3 == 0 {
+            if let Some(x) = d.pop(&mut tok) {
+                kept += x;
+            }
+        }
+    }
+    while let Some(x) = d.pop(&mut tok) {
+        kept += x;
+    }
+    done.store(true, Ordering::Release);
+    for t in thieves {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        kept + stolen_sum.load(Ordering::Relaxed),
+        PUSHES * (PUSHES + 1) / 2
+    );
+}

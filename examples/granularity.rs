@@ -1,0 +1,64 @@
+//! Granularity analysis of a workload, in the paper's terms.
+//!
+//! Runs each Table I benchmark family at a small size and prints the
+//! §II granularity measures: task granularity `G_T = T_S / N_T`,
+//! load-balancing granularity `G_L = T_S / N_M`, and the measured
+//! parallelism under the ideal and 2000-cycle overhead models — the
+//! same quantities Table I reports.
+//!
+//! ```text
+//! cargo run --release -p workloads --example granularity -- [workers]
+//! ```
+
+use wool_core::{Executor, Pool, PoolConfig};
+use workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let specs = [
+        WorkloadSpec { kind: WorkloadKind::Fib, p1: 27, p2: 0, reps: 1 },
+        WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 250, p2: 1000, reps: 8 },
+        WorkloadSpec { kind: WorkloadKind::Mm, p1: 64, p2: 0, reps: 32 },
+        WorkloadSpec { kind: WorkloadKind::Ssf, p1: 12, p2: 0, reps: 16 },
+        WorkloadSpec { kind: WorkloadKind::Stress, p1: 8, p2: 256, reps: 256 },
+    ];
+
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "G_T(cyc)", "G_L(kcyc)", "steals", "par(0)", "par(2k)"
+    );
+    for spec in specs {
+        // Instrumented single-worker run: exact work, span, N_T.
+        let cfg = PoolConfig::with_workers(1).instrument_span(true);
+        let mut pool1: Pool = Pool::with_config(cfg);
+        pool1.run_job(spec.job());
+        let r1 = pool1.last_report().unwrap().clone();
+
+        // Multi-worker run: steal count.
+        let mut pool_p: Pool = Pool::new(workers);
+        pool_p.run_job(spec.job());
+        let rp = pool_p.last_report().unwrap();
+
+        let work = r1.work as f64;
+        let g_t = work / r1.total.spawns.max(1) as f64;
+        let steals = rp.total.total_steals();
+        let g_l = work / steals.max(1) as f64 / 1e3;
+        println!(
+            "{:<24} {:>10.0} {:>10.1} {:>10} {:>10.1} {:>10.1}",
+            spec.name(),
+            g_t,
+            g_l,
+            steals,
+            r1.parallelism0(),
+            r1.parallelism_c(),
+        );
+    }
+    println!(
+        "\n(G_T: average work per task; G_L: average work per steal on {workers} workers;\n \
+         par: T1/Tinf under 0- and 2000-cycle steal-cost models — cf. Table I.)"
+    );
+}

@@ -1,0 +1,93 @@
+//! Periodic real-time-style processing: the paper's motivating use case.
+//!
+//! §II of the paper: "Many (soft as well as hard) real time systems
+//! have periodic serialization points when input (eg sensor data) is
+//! consumed and output is produced. A natural way to program such a
+//! system is to parallelize each interval, which then becomes the
+//! parallel region." Small parallel regions are exactly where task
+//! overhead dominates — the case the direct task stack is built for.
+//!
+//! This example simulates such a loop: every "interval" ingests a batch
+//! of sensor samples, runs a small parallel filter + reduction over
+//! them, and records the interval's latency. It prints the latency
+//! distribution over many intervals for Wool and for the heap-node
+//! baseline, so you can see the per-region overhead difference the
+//! paper quantifies.
+//!
+//! ```text
+//! cargo run --release -p workloads --example periodic -- [intervals] [samples] [workers]
+//! ```
+
+use std::time::Instant;
+
+use wool_core::{Executor, Fork, Job, Pool};
+use ws_baseline::tbb_like;
+
+/// One interval's work: an independent per-sample filter followed by a
+/// parallel tree reduction — a miniature parallel region.
+struct Interval<'a> {
+    samples: &'a [f64],
+}
+
+impl<'a> Job<f64> for Interval<'a> {
+    fn call<C: Fork>(self, ctx: &mut C) -> f64 {
+        fn reduce<C: Fork>(c: &mut C, xs: &[f64]) -> f64 {
+            if xs.len() <= 64 {
+                // A cheap nonlinear "filter" per sample.
+                return xs.iter().map(|&x| (x * 1.3 + 0.7).sin().abs()).sum();
+            }
+            let (lo, hi) = xs.split_at(xs.len() / 2);
+            let (a, b) = c.fork(|c| reduce(c, lo), |c| reduce(c, hi));
+            a + b
+        }
+        reduce(ctx, self.samples)
+    }
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn drive(name: &str, e: &mut impl Executor, intervals: usize, samples: &[f64]) {
+    let mut latencies_us: Vec<u128> = Vec::with_capacity(intervals);
+    let mut checksum = 0.0;
+    for _ in 0..intervals {
+        let t0 = Instant::now();
+        checksum += e.run_job(Interval { samples });
+        latencies_us.push(t0.elapsed().as_micros());
+    }
+    latencies_us.sort_unstable();
+    println!(
+        "  {name:<10} p50={:>6}us  p90={:>6}us  p99={:>6}us  max={:>6}us  (checksum {checksum:.1})",
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.90),
+        percentile(&latencies_us, 0.99),
+        latencies_us.last().unwrap(),
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let intervals: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    // Deterministic "sensor" data.
+    let samples: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).cos()).collect();
+
+    println!(
+        "periodic processing: {intervals} intervals x {n} samples, {workers} workers"
+    );
+    let mut wool: Pool = Pool::new(workers);
+    drive("wool", &mut wool, intervals, &samples);
+    let mut tbb = tbb_like(workers);
+    drive("tbb-like", &mut tbb, intervals, &samples);
+
+    let stats = wool.last_report().unwrap().total;
+    println!(
+        "  (wool last interval: {} spawns, {} steals)",
+        stats.spawns,
+        stats.total_steals()
+    );
+}

@@ -1,0 +1,91 @@
+//! Parallel merge sort on the Wool pool, validated against the standard
+//! library sort and compared against every baseline scheduler.
+//!
+//! Demonstrates forking over *disjoint mutable borrows* (`split_at_mut`)
+//! — the scoped `fork` guarantees both halves are done before the
+//! borrows expire, so this is entirely safe code.
+//!
+//! ```text
+//! cargo run --release -p workloads --example sort -- [len] [workers]
+//! ```
+
+use wool_core::{Executor, Fork, Job, Pool};
+use ws_baseline::{cilk_like, tbb_like, SerialExecutor};
+
+/// Sorts `xs` by parallel merge sort with an insertion-sort base case.
+fn msort<C: Fork>(c: &mut C, xs: &mut [u64], scratch: &mut [u64]) {
+    const GRAIN: usize = 256;
+    let n = xs.len();
+    if n <= GRAIN {
+        xs.sort_unstable();
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (xl, xr) = xs.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        c.fork(|c| msort(c, xl, sl), |c| msort(c, xr, sr));
+    }
+    // Merge the halves through the scratch buffer.
+    scratch[..n].copy_from_slice(xs);
+    let (left, right) = scratch[..n].split_at(mid);
+    let (mut i, mut j) = (0, 0);
+    for slot in xs.iter_mut() {
+        if j >= right.len() || (i < left.len() && left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+/// Deterministic pseudo-random input.
+fn input(len: usize) -> Vec<u64> {
+    let mut x = 0x853C49E6748FEA9Bu64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+/// The sort as a [`Job`] so it can run on any executor.
+struct SortJob(Vec<u64>);
+impl Job<Vec<u64>> for SortJob {
+    fn call<C: Fork>(mut self, ctx: &mut C) -> Vec<u64> {
+        let mut scratch = vec![0u64; self.0.len()];
+        msort(ctx, &mut self.0, &mut scratch);
+        self.0
+    }
+}
+
+fn run_on(name: &str, e: &mut impl Executor, data: &[u64], expect: &[u64]) {
+    let t0 = std::time::Instant::now();
+    let sorted = e.run_job(SortJob(data.to_vec()));
+    let dt = t0.elapsed();
+    assert_eq!(sorted, expect, "{name} produced a wrong ordering");
+    println!("  {name:<12} {dt:?}");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let len: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1 << 20);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let data = input(len);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+
+    println!("sorting {len} u64s on {workers} workers:");
+    run_on("serial", &mut SerialExecutor::new(), &data, &expect);
+    let mut wool: Pool = Pool::new(workers);
+    run_on("wool", &mut wool, &data, &expect);
+    run_on("tbb-like", &mut tbb_like(workers), &data, &expect);
+    run_on("cilk-like", &mut cilk_like(workers), &data, &expect);
+    println!("all schedulers agree with std sort");
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration: every workload computes the same result on
+//! every scheduler in the repository.
+
+use ws_bench::{System, SystemKind};
+use workloads::{WorkloadKind, WorkloadSpec};
+
+const ALL_SYSTEMS: [SystemKind; 13] = [
+    SystemKind::Serial,
+    SystemKind::Wool,
+    SystemKind::WoolTaskSpecific,
+    SystemKind::WoolSyncOnTask,
+    SystemKind::WoolLockedBase,
+    SystemKind::WoolStealLockBase,
+    SystemKind::WoolStealLockPeek,
+    SystemKind::WoolStealLockTrylock,
+    SystemKind::WoolNoLeapfrog,
+    SystemKind::TbbLike,
+    SystemKind::CilkLike,
+    SystemKind::OmpLike,
+    SystemKind::Central,
+];
+
+fn check_spec(spec: WorkloadSpec, workers: usize) {
+    let mut serial = System::create(SystemKind::Serial, 1);
+    let expect = serial.run_job(spec.job());
+    for kind in ALL_SYSTEMS {
+        let mut sys = System::create(kind, workers);
+        let got = sys.run_job(spec.job());
+        assert_eq!(
+            got,
+            expect,
+            "{} on {} with {} workers",
+            spec.name(),
+            kind.name(),
+            workers
+        );
+    }
+}
+
+#[test]
+fn fib_agrees_everywhere() {
+    check_spec(
+        WorkloadSpec { kind: WorkloadKind::Fib, p1: 17, p2: 0, reps: 2 },
+        3,
+    );
+}
+
+#[test]
+fn stress_agrees_everywhere() {
+    check_spec(
+        WorkloadSpec { kind: WorkloadKind::Stress, p1: 5, p2: 64, reps: 4 },
+        3,
+    );
+}
+
+#[test]
+fn mm_agrees_everywhere() {
+    check_spec(
+        WorkloadSpec { kind: WorkloadKind::Mm, p1: 32, p2: 0, reps: 2 },
+        3,
+    );
+}
+
+#[test]
+fn ssf_agrees_everywhere() {
+    check_spec(
+        WorkloadSpec { kind: WorkloadKind::Ssf, p1: 10, p2: 0, reps: 2 },
+        3,
+    );
+}
+
+#[test]
+fn cholesky_agrees_everywhere() {
+    check_spec(
+        WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 80, p2: 300, reps: 1 },
+        3,
+    );
+}
+
+#[test]
+fn repeated_regions_stay_consistent() {
+    // A pool survives many small regions with identical results.
+    let spec = WorkloadSpec { kind: WorkloadKind::Fib, p1: 14, p2: 0, reps: 1 };
+    let mut serial = System::create(SystemKind::Serial, 1);
+    let expect = serial.run_job(spec.job());
+    let mut wool = System::create(SystemKind::Wool, 4);
+    for rep in 0..100 {
+        assert_eq!(wool.run_job(spec.job()), expect, "region {rep}");
+    }
+}
+
+#[test]
+fn many_workers_on_tiny_work() {
+    // More workers than tasks: thieves mostly fail; results still exact.
+    for kind in ALL_SYSTEMS {
+        let mut sys = System::create(kind, 8);
+        let spec = WorkloadSpec { kind: WorkloadKind::Fib, p1: 6, p2: 0, reps: 3 };
+        assert_eq!(sys.run_job(spec.job()), 3.0 * 8.0, "{}", kind.name());
+    }
+}

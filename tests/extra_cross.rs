@@ -1,0 +1,135 @@
+//! The extended (non-paper) workloads agree across schedulers too.
+
+use ws_bench::{System, SystemKind};
+use wool_core::{Fork, Job};
+
+use workloads::extra::heat::{simulate_par, Grid};
+use workloads::extra::knapsack::{knapsack_dp, knapsack_par, Instance};
+use workloads::extra::nqueens::{nqueens_par, KNOWN};
+use workloads::extra::sort::{merge_sort, quick_sort, random_input};
+use workloads::extra::strassen::{strassen, Sq};
+use workloads::mm::Matrix;
+
+const SYSTEMS: [SystemKind; 6] = [
+    SystemKind::Wool,
+    SystemKind::WoolLockedBase,
+    SystemKind::TbbLike,
+    SystemKind::CilkLike,
+    SystemKind::OmpLike,
+    SystemKind::Central,
+];
+
+struct NqueensJob(usize);
+impl Job<u64> for NqueensJob {
+    fn call<C: Fork>(self, c: &mut C) -> u64 {
+        nqueens_par(c, self.0, self.0)
+    }
+}
+
+#[test]
+fn nqueens_on_all_systems() {
+    for kind in SYSTEMS {
+        let mut sys = System::create(kind, 3);
+        assert_eq!(sys.run_job(NqueensJob(9)), KNOWN[9], "{}", kind.name());
+    }
+}
+
+struct SortJob {
+    data: Vec<u64>,
+    quick: bool,
+}
+impl Job<Vec<u64>> for SortJob {
+    fn call<C: Fork>(mut self, c: &mut C) -> Vec<u64> {
+        if self.quick {
+            quick_sort(c, &mut self.data);
+        } else {
+            let mut scratch = vec![0; self.data.len()];
+            merge_sort(c, &mut self.data, &mut scratch);
+        }
+        self.data
+    }
+}
+
+#[test]
+fn sorts_on_all_systems() {
+    let data = random_input(30_000, 5);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    for kind in SYSTEMS {
+        for quick in [false, true] {
+            let mut sys = System::create(kind, 3);
+            let got = sys.run_job(SortJob {
+                data: data.clone(),
+                quick,
+            });
+            assert_eq!(got, expect, "{} quick={quick}", kind.name());
+        }
+    }
+}
+
+struct StrassenJob(usize);
+impl Job<f64> for StrassenJob {
+    fn call<C: Fork>(self, c: &mut C) -> f64 {
+        let a = Sq::from_matrix(&Matrix::random(self.0, 1));
+        let b = Sq::from_matrix(&Matrix::random(self.0, 2));
+        let r = strassen(c, &a, &b);
+        // Deterministic scalar probe of the product.
+        r.at(0, 0) + r.at(self.0 / 2, self.0 / 3) + r.at(self.0 - 1, self.0 - 1)
+    }
+}
+
+#[test]
+fn strassen_on_all_systems() {
+    let mut reference = None;
+    // 2x the cutoff so real forking happens.
+    for kind in SYSTEMS {
+        let mut sys = System::create(kind, 3);
+        let v = sys.run_job(StrassenJob(130));
+        match reference {
+            None => reference = Some(v),
+            Some(r) => assert!((r - v).abs() < 1e-9, "{}", kind.name()),
+        }
+    }
+}
+
+struct HeatJob;
+impl Job<f64> for HeatJob {
+    fn call<C: Fork>(self, c: &mut C) -> f64 {
+        simulate_par(c, Grid::hot_edge(24, 24), 30).checksum()
+    }
+}
+
+#[test]
+fn heat_on_all_systems() {
+    let mut reference = None;
+    for kind in SYSTEMS {
+        let mut sys = System::create(kind, 3);
+        let v = sys.run_job(HeatJob);
+        match reference {
+            None => reference = Some(v),
+            Some(r) => assert_eq!(r, v, "{}", kind.name()),
+        }
+    }
+}
+
+struct KnapsackJob(Instance);
+impl Job<u64> for KnapsackJob {
+    fn call<C: Fork>(self, c: &mut C) -> u64 {
+        knapsack_par(c, &self.0, 8)
+    }
+}
+
+#[test]
+fn knapsack_on_all_systems() {
+    let inst = Instance::random(20, 99);
+    let expect = knapsack_dp(&inst);
+    for kind in SYSTEMS {
+        let mut sys = System::create(kind, 3);
+        assert_eq!(
+            sys.run_job(KnapsackJob(inst.clone())),
+            expect,
+            "{}",
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests across crates: randomly shaped task trees give
+//! identical results on every scheduler, and the span model obeys its
+//! algebraic laws.
+
+use proptest::prelude::*;
+use ws_bench::{System, SystemKind};
+use wool_core::span::combine;
+use wool_core::{Fork, Job};
+
+/// A randomly shaped computation tree executed with forks.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(u64),
+    Fork(Box<Tree>, Box<Tree>),
+    Seq(Box<Tree>, Box<Tree>),
+    ForEach(u8),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (0u64..50).prop_map(Tree::Leaf),
+        (1u8..12).prop_map(Tree::ForEach),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Fork(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Seq(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval<C: Fork>(c: &mut C, t: &Tree) -> u64 {
+    match t {
+        Tree::Leaf(v) => v.wrapping_mul(0x9E3779B9).rotate_left(5),
+        Tree::Fork(a, b) => {
+            let (x, y) = c.fork(|c| eval(c, a), |c| eval(c, b));
+            x.wrapping_add(y.rotate_left(1))
+        }
+        Tree::Seq(a, b) => {
+            let x = eval(c, a);
+            let y = eval(c, b);
+            x.wrapping_sub(y).rotate_left(3)
+        }
+        Tree::ForEach(n) => {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let acc = AtomicU64::new(0);
+            c.for_each_spawn(*n as usize, &|_c, i| {
+                acc.fetch_add((i as u64 + 1).wrapping_mul(7), Ordering::Relaxed);
+            });
+            acc.load(Ordering::Relaxed)
+        }
+    }
+}
+
+struct TreeJob(Tree);
+impl Job<u64> for TreeJob {
+    fn call<C: Fork>(self, ctx: &mut C) -> u64 {
+        eval(ctx, &self.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any tree shape computes the same value on the wool scheduler,
+    /// the heap-node baseline, and serially.
+    #[test]
+    fn random_trees_agree(t in tree_strategy()) {
+        let mut serial = System::create(SystemKind::Serial, 1);
+        let expect = serial.run_job(TreeJob(t.clone()));
+        let mut wool = System::create(SystemKind::Wool, 3);
+        prop_assert_eq!(wool.run_job(TreeJob(t.clone())), expect);
+        let mut tbb = System::create(SystemKind::TbbLike, 2);
+        prop_assert_eq!(tbb.run_job(TreeJob(t)), expect);
+    }
+
+    /// span combine: commutative, bounded by sequential sum and by
+    /// max + overhead, monotone in the overhead parameter.
+    #[test]
+    fn combine_laws(a in 0u64..1_000_000, b in 0u64..1_000_000, c1 in 0u64..10_000, c2 in 0u64..10_000) {
+        prop_assert_eq!(combine(a, b, c1), combine(b, a, c1));
+        let v = combine(a, b, c1);
+        prop_assert!(v <= a + b);
+        prop_assert!(v >= a.max(b).min(a + b));
+        prop_assert!(v <= a.max(b) + c1);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(combine(a, b, lo) <= combine(a, b, hi));
+    }
+
+    /// combine with zero cost is exactly max; with huge cost it's the
+    /// sequential sum.
+    #[test]
+    fn combine_limits(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assert_eq!(combine(a, b, 0), a.max(b));
+        prop_assert_eq!(combine(a, b, u64::MAX / 2), a + b);
+    }
+
+    /// The steal-cost model never predicts more than linear speedup and
+    /// degrades monotonically with the steal cost.
+    #[test]
+    fn model_sanity(work in 1_000.0f64..1e9, c2 in 0.0f64..1e6, steals in 0.0f64..1e4) {
+        use ws_bench::steal_cost_model_speedup;
+        use ws_bench::model::ModelInputs;
+        for p in [2usize, 4, 8] {
+            let s = steal_cost_model_speedup(ModelInputs { work, c2, cp: c2, steals, p });
+            prop_assert!(s <= p as f64 + 1e-9, "superlinear prediction {s} at p={p}");
+            prop_assert!(s >= 0.0);
+            let s_worse = steal_cost_model_speedup(ModelInputs {
+                work, c2: c2 * 2.0, cp: c2 * 2.0, steals, p,
+            });
+            prop_assert!(s_worse <= s + 1e-9, "higher cost must not speed up");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Scheduler invariants under sustained multi-threaded stress.
+
+use wool_core::{Pool, PoolConfig, Strategy, WorkerHandle};
+
+fn fib<S: Strategy>(h: &mut WorkerHandle<S>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = h.fork(|h| fib(h, n - 1), |h| fib(h, n - 2));
+    a + b
+}
+
+/// Every spawn is matched by exactly one join of some kind.
+#[test]
+fn spawns_equal_joins() {
+    let mut pool: Pool = Pool::new(4);
+    for _ in 0..10 {
+        pool.run(|h| fib(h, 20));
+        let t = pool.last_report().unwrap().total;
+        let joins = t.inlined_private + t.inlined_public + t.stolen_joins
+            + (t.rts_joins - t.stolen_joins); // reacquired-task joins
+        assert_eq!(t.spawns, joins, "{t:?}");
+    }
+}
+
+/// Every steal is eventually matched by a stolen join (same region).
+#[test]
+fn steals_equal_stolen_joins() {
+    let mut pool: Pool = Pool::new(4);
+    for _ in 0..20 {
+        pool.run(|h| fib(h, 22));
+        let t = pool.last_report().unwrap().total;
+        assert_eq!(
+            t.total_steals(),
+            t.stolen_joins,
+            "each stolen task is joined exactly once: {t:?}"
+        );
+    }
+}
+
+/// The paper's §III-A claim: back-offs stay rare relative to steals.
+#[test]
+fn backoffs_stay_rare() {
+    let mut pool: Pool = Pool::new(4);
+    let mut steals = 0;
+    let mut backoffs = 0;
+    for _ in 0..40 {
+        pool.run(|h| fib(h, 22));
+        let t = pool.last_report().unwrap().total;
+        steals += t.total_steals();
+        backoffs += t.backoffs;
+    }
+    if steals > 100 {
+        let ratio = backoffs as f64 / steals as f64;
+        assert!(ratio < 0.05, "backoff ratio {ratio} ({backoffs}/{steals})");
+    }
+}
+
+/// Span accounting: work is conserved across worker counts.
+#[test]
+fn work_is_conserved() {
+    let run_work = |workers: usize| -> (u64, u64) {
+        let cfg = PoolConfig::with_workers(workers).instrument_span(true);
+        let mut pool: Pool = Pool::with_config(cfg);
+        pool.run(|h| fib(h, 21));
+        let r = pool.last_report().unwrap();
+        (r.work, r.span0)
+    };
+    let (w1, s1) = run_work(1);
+    let (w1b, _) = run_work(1);
+    assert!(w1 > 0 && w1b > 0);
+    // Repeated single-worker measurements agree (cache and
+    // instrumentation noise allowed).
+    let ratio = w1b as f64 / w1 as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "work should be reproducible: {w1} vs {w1b}"
+    );
+    // Multi-worker work only sanity-checked from below: on hosts with
+    // fewer hardware threads than workers, rdtsc keeps counting while a
+    // worker is descheduled, inflating its measured leaf time — which
+    // is why Table I takes its work/span numbers from 1-worker runs.
+    let (w4, _s4) = run_work(4);
+    assert!(w4 as f64 > 0.5 * w1 as f64, "work lost at 4 workers: {w1} vs {w4}");
+    // Span is at most work.
+    assert!(s1 <= w1);
+}
+
+/// Mixed fork + for_each under concurrency, repeated to shake races.
+#[test]
+fn mixed_primitives_stress() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut pool: Pool = Pool::new(4);
+    for round in 0..30 {
+        let total = AtomicU64::new(0);
+        pool.run(|h| {
+            h.for_each_spawn(16, &|h, i| {
+                let (a, b) = h.fork(
+                    |h| fib(h, 10 + (i as u64 % 3)),
+                    |h| {
+                        let mut acc = 0;
+                        h.for_each_spawn(4, &|_h, j| {
+                            std::hint::black_box(j);
+                        });
+                        acc += i as u64;
+                        acc
+                    },
+                );
+                total.fetch_add(a + b, Ordering::Relaxed);
+            });
+        });
+        let got = total.load(Ordering::Relaxed);
+        let expect: u64 = (0..16u64)
+            .map(|i| {
+                let f = match i % 3 {
+                    0 => 55,
+                    1 => 89,
+                    _ => 144,
+                };
+                f + i
+            })
+            .sum();
+        assert_eq!(got, expect, "round {round}");
+    }
+}
+
+/// Pools of every strategy survive panics under concurrency.
+#[test]
+fn panic_under_concurrency() {
+    fn check<S: Strategy>() {
+        let mut pool: Pool<S> = Pool::new(3);
+        for _ in 0..10 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|h| {
+                    let ((), v) = h.fork(
+                        |h| {
+                            // Some real work on the non-panicking side.
+                            std::hint::black_box(fib(h, 12));
+                        },
+                        |_| -> u64 { panic!("injected") },
+                    );
+                    v
+                })
+            }));
+            assert!(r.is_err());
+            assert_eq!(pool.run(|h| fib(h, 10)), 55);
+        }
+    }
+    check::<wool_core::WoolFull>();
+    check::<wool_core::TaskSpecific>();
+    check::<wool_core::LockedBase>();
+}
+
+/// Deep nesting across pool sizes and small stacks exercises the
+/// overflow fallback concurrently.
+#[test]
+fn overflow_under_concurrency() {
+    // fib(n) keeps at most one pending task per recursion level, so the
+    // stack must be smaller than the recursion depth to overflow.
+    let cfg = PoolConfig::with_workers(4).stack_capacity(16);
+    let mut pool: Pool = Pool::with_config(cfg);
+    for _ in 0..5 {
+        let v = pool.run(|h| fib(h, 24));
+        assert_eq!(v, 46368);
+    }
+    let t = pool.last_report().unwrap().total;
+    assert!(t.overflow_inlines > 0, "tiny stack must overflow: {t:?}");
+}
