@@ -1,79 +1,55 @@
 //! Microbenchmark: owner-end push/pop throughput of the task-pool
-//! substrates — our Chase–Lev (fenced pop), the locked deque, and, for
-//! context, crossbeam's production Chase–Lev.
+//! substrates — our Chase–Lev (fenced pop), the locked deque, and the
+//! idempotent LIFO pool.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ws_bench::microbench::Bench;
 use ws_deque::chase_lev::OwnerToken;
 use ws_deque::{ChaseLev, IdempotentLifo, LockedDeque, StealProtocol};
 
 const N: usize = 1000;
 
-fn benches(c: &mut Criterion) {
-    c.bench_function("deque/chase-lev push+pop", |b| {
+fn main() {
+    let mut b = Bench::from_args();
+    b.bench("deque/chase-lev push+pop", || {
         let d = ChaseLev::new();
         // SAFETY: single-threaded bench owns the deque.
         let mut tok = unsafe { OwnerToken::new() };
-        b.iter(|| {
-            for i in 0..N {
-                d.push(i, &mut tok);
-            }
-            for _ in 0..N {
-                std::hint::black_box(d.pop(&mut tok));
-            }
-        });
+        for i in 0..N {
+            d.push(i, &mut tok);
+        }
+        for _ in 0..N {
+            std::hint::black_box(d.pop(&mut tok));
+        }
     });
-    c.bench_function("deque/locked push+pop", |b| {
+    b.bench("deque/locked push+pop", || {
         let d = LockedDeque::new();
-        b.iter(|| {
-            for i in 0..N {
-                d.push(i);
-            }
-            for _ in 0..N {
-                std::hint::black_box(d.pop());
-            }
-        });
+        for i in 0..N {
+            d.push(i);
+        }
+        for _ in 0..N {
+            std::hint::black_box(d.pop());
+        }
     });
-    c.bench_function("deque/locked steal(base)", |b| {
+    b.bench("deque/locked steal(base)", || {
         let d = LockedDeque::new();
-        b.iter(|| {
-            for i in 0..N {
-                d.push(i);
-            }
-            for _ in 0..N {
-                std::hint::black_box(d.steal(StealProtocol::Base));
-            }
-        });
+        for i in 0..N {
+            d.push(i);
+        }
+        for _ in 0..N {
+            std::hint::black_box(d.steal(StealProtocol::Base));
+        }
     });
-    c.bench_function("deque/idempotent put+take", |b| {
+    b.bench("deque/idempotent put+take", || {
         let d = IdempotentLifo::new(2 * N);
-        b.iter(|| {
-            // SAFETY: single-threaded bench owns the pool.
-            unsafe {
-                for i in 0..N {
-                    let _ = d.put(i);
-                }
-                for _ in 0..N {
-                    std::hint::black_box(d.take());
-                }
-            }
-        });
-    });
-    c.bench_function("deque/crossbeam push+pop", |b| {
-        let d = crossbeam_deque::Worker::new_lifo();
-        b.iter(|| {
+        // SAFETY: single-threaded bench owns the pool.
+        unsafe {
             for i in 0..N {
-                d.push(i);
+                let _ = d.put(i);
             }
             for _ in 0..N {
-                std::hint::black_box(d.pop());
+                std::hint::black_box(d.take());
             }
-        });
+        }
     });
+    b.finish();
 }
-
-criterion_group! {
-    name = group;
-    config = Criterion::default().sample_size(30);
-    targets = benches
-}
-criterion_main!(group);

@@ -1,11 +1,11 @@
 //! End-to-end kernels (small instances of the paper's workloads) on the
 //! full Wool scheduler vs the baselines vs serial.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ws_bench::{System, SystemKind};
 use workloads::{WorkloadKind, WorkloadSpec};
+use ws_bench::microbench::Bench;
+use ws_bench::{System, SystemKind};
 
-fn bench_kernel(c: &mut Criterion, spec: WorkloadSpec) {
+fn bench_kernel(b: &mut Bench, spec: WorkloadSpec) {
     for kind in [
         SystemKind::Serial,
         SystemKind::Wool,
@@ -14,42 +14,58 @@ fn bench_kernel(c: &mut Criterion, spec: WorkloadSpec) {
     ] {
         let mut sys = System::create(kind, 2);
         let name = spec.name();
-        c.bench_with_input(
-            BenchmarkId::new(format!("kernel/{name}"), kind.name()),
-            &(),
-            |b, _| {
-                b.iter(|| sys.run_job(spec.job()));
-            },
-        );
+        b.bench(&format!("kernel/{name}/{}", kind.name()), || {
+            std::hint::black_box(sys.run_job(spec.job()));
+        });
     }
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args();
     bench_kernel(
-        c,
-        WorkloadSpec { kind: WorkloadKind::Fib, p1: 20, p2: 0, reps: 1 },
+        &mut b,
+        WorkloadSpec {
+            kind: WorkloadKind::Fib,
+            p1: 20,
+            p2: 0,
+            reps: 1,
+        },
     );
     bench_kernel(
-        c,
-        WorkloadSpec { kind: WorkloadKind::Stress, p1: 6, p2: 256, reps: 4 },
+        &mut b,
+        WorkloadSpec {
+            kind: WorkloadKind::Stress,
+            p1: 6,
+            p2: 256,
+            reps: 4,
+        },
     );
     bench_kernel(
-        c,
-        WorkloadSpec { kind: WorkloadKind::Mm, p1: 48, p2: 0, reps: 1 },
+        &mut b,
+        WorkloadSpec {
+            kind: WorkloadKind::Mm,
+            p1: 48,
+            p2: 0,
+            reps: 1,
+        },
     );
     bench_kernel(
-        c,
-        WorkloadSpec { kind: WorkloadKind::Ssf, p1: 11, p2: 0, reps: 1 },
+        &mut b,
+        WorkloadSpec {
+            kind: WorkloadKind::Ssf,
+            p1: 11,
+            p2: 0,
+            reps: 1,
+        },
     );
     bench_kernel(
-        c,
-        WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 100, p2: 400, reps: 1 },
+        &mut b,
+        WorkloadSpec {
+            kind: WorkloadKind::Cholesky,
+            p1: 100,
+            p2: 400,
+            reps: 1,
+        },
     );
+    b.finish();
 }
-
-criterion_group! {
-    name = group;
-    config = Criterion::default().sample_size(10);
-    targets = benches
-}
-criterion_main!(group);

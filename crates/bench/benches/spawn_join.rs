@@ -1,10 +1,8 @@
 //! Microbenchmark: cost of one spawn+inlined-join (the Table II fast
 //! path) under every join strategy, plus the serial call baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wool_core::{
-    Fork, LockedBase, Pool, PoolConfig, Strategy, SyncOnTask, TaskSpecific, WoolFull,
-};
+use wool_core::{Fork, LockedBase, Pool, PoolConfig, Strategy, SyncOnTask, TaskSpecific, WoolFull};
+use ws_bench::microbench::Bench;
 
 fn fib<C: Fork>(c: &mut C, n: u64) -> u64 {
     if n < 2 {
@@ -22,7 +20,7 @@ fn fib_serial(n: u64) -> u64 {
     }
 }
 
-fn bench_strategy<S: Strategy>(c: &mut Criterion, group: &str, force_public: bool) {
+fn bench_strategy<S: Strategy>(b: &mut Bench, group: &str, force_public: bool) {
     let cfg = PoolConfig::with_workers(1).force_publish_all(force_public);
     let mut pool: Pool<S> = Pool::with_config(cfg);
     let label = if force_public {
@@ -30,25 +28,20 @@ fn bench_strategy<S: Strategy>(c: &mut Criterion, group: &str, force_public: boo
     } else {
         S::NAME.to_string()
     };
-    c.bench_with_input(BenchmarkId::new(group, label), &20u64, |b, &n| {
-        b.iter(|| pool.run(|h| fib(h, std::hint::black_box(n))));
+    b.bench(&format!("{group}/{label}/20"), || {
+        std::hint::black_box(pool.run(|h| fib(h, std::hint::black_box(20))));
     });
 }
 
-fn benches(c: &mut Criterion) {
-    c.bench_function("spawn_join/serial-call", |b| {
-        b.iter(|| fib_serial(std::hint::black_box(20)))
+fn main() {
+    let mut b = Bench::from_args();
+    b.bench("spawn_join/serial-call", || {
+        std::hint::black_box(fib_serial(std::hint::black_box(20)));
     });
-    bench_strategy::<LockedBase>(c, "spawn_join", false);
-    bench_strategy::<SyncOnTask>(c, "spawn_join", false);
-    bench_strategy::<TaskSpecific>(c, "spawn_join", false);
-    bench_strategy::<WoolFull>(c, "spawn_join", true);
-    bench_strategy::<WoolFull>(c, "spawn_join", false);
+    bench_strategy::<LockedBase>(&mut b, "spawn_join", false);
+    bench_strategy::<SyncOnTask>(&mut b, "spawn_join", false);
+    bench_strategy::<TaskSpecific>(&mut b, "spawn_join", false);
+    bench_strategy::<WoolFull>(&mut b, "spawn_join", true);
+    bench_strategy::<WoolFull>(&mut b, "spawn_join", false);
+    b.finish();
 }
-
-criterion_group! {
-    name = group;
-    config = Criterion::default().sample_size(20);
-    targets = benches
-}
-criterion_main!(group);

@@ -1,27 +1,22 @@
 //! Microbenchmark: load-balancing cost under the Figure 4 steal
 //! protocols — small task trees with busy leaves on 2 workers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wool_core::{Pool, StealLockBase, StealLockPeek, StealLockTrylock, Strategy, TaskSpecific};
 use workloads::stress::tree;
+use ws_bench::microbench::Bench;
 
-fn bench_steal<S: Strategy>(c: &mut Criterion, label: &str) {
+fn bench_steal<S: Strategy>(b: &mut Bench, label: &str) {
     let mut pool: Pool<S> = Pool::new(2);
-    c.bench_with_input(BenchmarkId::new("steal", label), &(), |b, _| {
-        b.iter(|| pool.run(|h| tree(h, 6, std::hint::black_box(256))));
+    b.bench(&format!("steal/{label}"), || {
+        std::hint::black_box(pool.run(|h| tree(h, 6, std::hint::black_box(256))));
     });
 }
 
-fn benches(c: &mut Criterion) {
-    bench_steal::<StealLockBase>(c, "base");
-    bench_steal::<StealLockPeek>(c, "peek");
-    bench_steal::<StealLockTrylock>(c, "trylock");
-    bench_steal::<TaskSpecific>(c, "nolock");
+fn main() {
+    let mut b = Bench::from_args();
+    bench_steal::<StealLockBase>(&mut b, "base");
+    bench_steal::<StealLockPeek>(&mut b, "peek");
+    bench_steal::<StealLockTrylock>(&mut b, "trylock");
+    bench_steal::<TaskSpecific>(&mut b, "nolock");
+    b.finish();
 }
-
-criterion_group! {
-    name = group;
-    config = Criterion::default().sample_size(15);
-    targets = benches
-}
-criterion_main!(group);

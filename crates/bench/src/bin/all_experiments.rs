@@ -54,4 +54,5 @@ fn main() {
     ablation::render(&ab).print();
     ablation::render_join_policy(&ab).print();
     dump_json(&format!("{dir}/ablation.json"), &ab);
+    ws_bench::tracing::maybe_trace(&args);
 }

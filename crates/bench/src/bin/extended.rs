@@ -4,6 +4,7 @@
 
 use std::time::Instant;
 
+use wool_core::{Fork, Job};
 use workloads::extra::heat::{simulate_par, Grid};
 use workloads::extra::knapsack::{knapsack_par, Instance};
 use workloads::extra::nqueens::nqueens_par;
@@ -12,7 +13,6 @@ use workloads::extra::strassen::{strassen, Sq};
 use workloads::mm::Matrix;
 use ws_bench::report::Table;
 use ws_bench::{BenchArgs, System, SystemKind};
-use wool_core::{Fork, Job};
 
 /// Which extended program to run.
 #[derive(Debug, Clone, Copy)]
@@ -124,4 +124,5 @@ fn main() {
         table.row(cells);
     }
     table.print();
+    ws_bench::tracing::maybe_trace(&args);
 }

@@ -9,4 +9,5 @@ fn main() {
     if let Some(path) = &args.json {
         dump_json(path, &result);
     }
+    ws_bench::tracing::maybe_trace(&args);
 }

@@ -7,7 +7,10 @@
 //! --scale F       repetition scale factor vs the paper (default: 0.01)
 //! --paper         full paper-sized parameters (scale = 1.0)
 //! --quick         tiny smoke-test parameters (scale = 0.001)
-//! --json PATH     also dump machine-readable results to PATH
+//! --json PATH      also dump machine-readable results to PATH
+//! --trace-out PATH record a scheduler event trace of a representative
+//!                  run and write it as Chrome/Perfetto trace JSON
+//!                  (needs the `trace` cargo feature; see docs/TRACING.md)
 //! ```
 //!
 //! The paper's repetition counts target roughly one second per workload
@@ -23,6 +26,9 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional Chrome-trace output path (`--trace-out`). Parsed
+    /// unconditionally; acting on it requires the `trace` feature.
+    pub trace_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -31,6 +37,7 @@ impl Default for BenchArgs {
             workers: 4,
             scale: 0.01,
             json: None,
+            trace_out: None,
         }
     }
 }
@@ -64,6 +71,18 @@ impl BenchArgs {
                 "--json" => {
                     out.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
                 }
+                "--trace-out" => {
+                    out.trace_out = Some(
+                        it.next()
+                            .unwrap_or_else(|| usage("--trace-out needs a path")),
+                    );
+                    if cfg!(not(feature = "trace")) {
+                        eprintln!(
+                            "warning: --trace-out ignored; rebuild with \
+                             `--features trace` to record traces"
+                        );
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument: {other}")),
             }
@@ -91,7 +110,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--workers N] [--scale F | --paper | --quick] [--json PATH]"
+        "usage: <bin> [--workers N] [--scale F | --paper | --quick] [--json PATH] \
+         [--trace-out PATH]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -117,6 +137,13 @@ mod tests {
         assert_eq!(a.workers, 8);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert!(a.trace_out.is_none());
+    }
+
+    #[test]
+    fn trace_out_flag() {
+        let a = parse("--trace-out results/trace.json");
+        assert_eq!(a.trace_out.as_deref(), Some("results/trace.json"));
     }
 
     #[test]

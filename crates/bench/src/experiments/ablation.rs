@@ -7,7 +7,6 @@
 //! matters — the ablation DESIGN.md calls out for the private-task
 //! scheme.
 
-use serde::Serialize;
 use wool_core::PoolConfig;
 use workloads::{WorkloadKind, WorkloadSpec};
 
@@ -17,7 +16,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One configuration's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Trip-wire distance.
     pub trip_distance: usize,
@@ -36,7 +35,7 @@ pub struct Row {
 }
 
 /// Join-policy comparison entry (leapfrog vs plain waiting).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JoinPolicyRow {
     /// System name.
     pub system: String,
@@ -49,7 +48,7 @@ pub struct JoinPolicyRow {
 }
 
 /// The full result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Workload used.
     pub workload: String,
@@ -127,7 +126,10 @@ pub fn run(args: &BenchArgs) -> Result {
 /// Renders the join-policy table.
 pub fn render_join_policy(r: &Result) -> Table {
     let mut t = Table::new(
-        &format!("Ablation: join policy on {} ({} workers)", r.workload, r.workers),
+        &format!(
+            "Ablation: join policy on {} ({} workers)",
+            r.workload, r.workers
+        ),
         &["policy", "time(s)", "steals", "leap-steals"],
     );
     for row in &r.join_policy {
@@ -149,7 +151,13 @@ pub fn render(r: &Result) -> Table {
             r.workload, r.workers
         ),
         &[
-            "trip", "batch", "public", "time(s)", "steals", "publishes", "private%",
+            "trip",
+            "batch",
+            "public",
+            "time(s)",
+            "steals",
+            "publishes",
+            "private%",
         ],
     );
     for row in &r.rows {
@@ -165,3 +173,25 @@ pub fn render(r: &Result) -> Table {
     }
     t
 }
+
+minijson::impl_to_json!(Row {
+    trip_distance,
+    publish_batch,
+    force_public,
+    seconds,
+    steals,
+    publishes,
+    private_ratio,
+});
+minijson::impl_to_json!(JoinPolicyRow {
+    system,
+    seconds,
+    steals,
+    leap_steals
+});
+minijson::impl_to_json!(Result {
+    workload,
+    workers,
+    rows,
+    join_policy
+});

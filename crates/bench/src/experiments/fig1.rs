@@ -7,7 +7,6 @@
 //! same system's one-worker time (relative speedup), which is how the
 //! paper plots it.
 
-use serde::Serialize;
 use workloads::{WorkloadKind, WorkloadSpec};
 
 use crate::cli::BenchArgs;
@@ -16,7 +15,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One speedup series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// System name.
     pub system: String,
@@ -25,7 +24,7 @@ pub struct Series {
 }
 
 /// The figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// fib argument used.
     pub fib_n: u64,
@@ -118,3 +117,6 @@ pub fn render(r: &Result) -> (Table, Table) {
         ),
     )
 }
+
+minijson::impl_to_json!(Series { system, points });
+minijson::impl_to_json!(Result { fib_n, fib, stress });

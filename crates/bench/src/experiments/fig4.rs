@@ -6,7 +6,6 @@
 //! repetitions 64K down to 4K) with worker count on the x-axis and
 //! relative speedup on the y-axis.
 
-use serde::Serialize;
 use workloads::{WorkloadKind, WorkloadSpec};
 
 use crate::cli::BenchArgs;
@@ -15,7 +14,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One panel: a fixed region size, speedups per system and worker count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Tree height.
     pub height: usize,
@@ -26,7 +25,7 @@ pub struct Panel {
 }
 
 /// The figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Leaf iterations (paper: 256).
     pub leaf_iters: usize,
@@ -37,7 +36,13 @@ pub struct Result {
 /// Runs the experiment.
 pub fn run(args: &BenchArgs) -> Result {
     // Paper: heights 7..11 with reps shifted to 64K..4K.
-    let configs = [(7usize, 65536u64), (8, 32768), (9, 16384), (10, 8192), (11, 4096)];
+    let configs = [
+        (7usize, 65536u64),
+        (8, 32768),
+        (9, 16384),
+        (10, 8192),
+        (11, 4096),
+    ];
     let sweep = args.worker_sweep();
     let mut panels = Vec::new();
     for (height, base_reps) in configs {
@@ -108,3 +113,10 @@ pub fn render(r: &Result) -> Vec<Table> {
         })
         .collect()
 }
+
+minijson::impl_to_json!(Panel {
+    height,
+    reps,
+    series
+});
+minijson::impl_to_json!(Result { leaf_iters, panels });

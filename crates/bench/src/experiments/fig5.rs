@@ -5,7 +5,6 @@
 //! (against the sequential program); for stress, speedup relative to
 //! single-processor Wool. One panel per workload row of Table I.
 
-use serde::Serialize;
 use workloads::{all_table1_specs, WorkloadKind, WorkloadSpec};
 
 use crate::cli::BenchArgs;
@@ -14,7 +13,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One panel: a workload, speedups per system and worker count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Workload name.
     pub workload: String,
@@ -26,7 +25,7 @@ pub struct Panel {
 }
 
 /// The figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Panels, one per Table I workload row measured.
     pub panels: Vec<Panel>,
@@ -87,7 +86,11 @@ pub fn render(r: &Result) -> Vec<Table> {
                 header.push(format!("p={p}"));
             }
             let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-            let kind = if panel.absolute { "absolute" } else { "relative" };
+            let kind = if panel.absolute {
+                "absolute"
+            } else {
+                "relative"
+            };
             let mut t = Table::new(
                 &format!("Figure 5: {} — {kind} speedup", panel.workload),
                 &hdr,
@@ -103,3 +106,10 @@ pub fn render(r: &Result) -> Vec<Table> {
         })
         .collect()
 }
+
+minijson::impl_to_json!(Panel {
+    workload,
+    absolute,
+    series
+});
+minijson::impl_to_json!(Result { panels });

@@ -7,7 +7,6 @@
 //! workers minus the tracked categories. Values are normalized to the
 //! single-worker NA time, as in the paper.
 
-use serde::Serialize;
 use wool_core::timebreak::Category;
 use wool_core::PoolConfig;
 use workloads::{WorkloadKind, WorkloadSpec};
@@ -18,7 +17,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// Breakdown at one worker count, normalized to 1-worker NA.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Bar {
     /// Worker count.
     pub workers: usize,
@@ -27,7 +26,7 @@ pub struct Bar {
 }
 
 /// One workload's set of bars.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Workload name.
     pub workload: String,
@@ -36,7 +35,7 @@ pub struct Panel {
 }
 
 /// The figure's data.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Panels.
     pub panels: Vec<Panel>,
@@ -126,3 +125,7 @@ pub fn render(r: &Result) -> Vec<Table> {
         })
         .collect()
 }
+
+minijson::impl_to_json!(Bar { workers, fractions });
+minijson::impl_to_json!(Panel { workload, bars });
+minijson::impl_to_json!(Result { panels });

@@ -7,7 +7,6 @@
 //! load-balancing granularity `G_L(p) = T_S / N_M` for each processor
 //! count in the sweep (steals counted on Wool runs with `p` workers).
 
-use serde::Serialize;
 use wool_core::PoolConfig;
 use workloads::{all_table1_specs, WorkloadSpec};
 
@@ -17,7 +16,7 @@ use crate::report::{fmt_kcycles, fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One regenerated Table I row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Workload name with parameters.
     pub workload: String,
@@ -37,7 +36,7 @@ pub struct Row {
 }
 
 /// The full result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Worker counts measured for `G_L`.
     pub sweep: Vec<usize>,
@@ -66,7 +65,8 @@ pub fn run(args: &BenchArgs) -> Result {
         let mut wool1 = System::create_with(SystemKind::Wool, cfg);
         let m1 = measure_job(&mut wool1, spec, 1);
         assert_eq!(
-            ms.checksum, m1.checksum,
+            ms.checksum,
+            m1.checksum,
             "serial and wool disagree on {}",
             spec.name()
         );
@@ -127,3 +127,14 @@ pub fn render(r: &Result) -> Table {
     }
     t
 }
+
+minijson::impl_to_json!(Row {
+    workload,
+    reps,
+    parallelism0,
+    parallelism_2000,
+    rep_kcycles,
+    g_t,
+    g_l,
+});
+minijson::impl_to_json!(Result { sweep, rows });

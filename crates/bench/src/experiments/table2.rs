@@ -14,7 +14,6 @@
 //! |                              | tasks stay private)               |
 //! | Serial                       | plain recursion, no constructs    |
 
-use serde::Serialize;
 use wool_core::PoolConfig;
 use workloads::fib::fib_spawn_count;
 use workloads::{WorkloadKind, WorkloadSpec};
@@ -25,7 +24,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One row of the regenerated table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Paper row label.
     pub version: String,
@@ -36,7 +35,7 @@ pub struct Row {
 }
 
 /// The full result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// fib argument used.
     pub n: u64,
@@ -77,10 +76,7 @@ pub fn run(args: &BenchArgs) -> Result {
     let t_s = measure_job(&mut serial, &spec, repeats).seconds;
 
     let ladder: Vec<(String, System)> = vec![
-        (
-            "Base".into(),
-            System::create(SystemKind::WoolLockedBase, 1),
-        ),
+        ("Base".into(), System::create(SystemKind::WoolLockedBase, 1)),
         (
             "Synchronize on task".into(),
             System::create(SystemKind::WoolSyncOnTask, 1),
@@ -105,8 +101,8 @@ pub fn run(args: &BenchArgs) -> Result {
     let mut rows = Vec::new();
     for (label, mut sys) in ladder {
         let m = measure_job(&mut sys, &spec, repeats);
-        let overhead = (m.seconds - t_s).max(0.0) * 1e9 * wool_core::cycles::ticks_per_ns()
-            / tasks as f64;
+        let overhead =
+            (m.seconds - t_s).max(0.0) * 1e9 * wool_core::cycles::ticks_per_ns() / tasks as f64;
         rows.push(Row {
             version: label,
             seconds: m.seconds,
@@ -125,10 +121,7 @@ pub fn run(args: &BenchArgs) -> Result {
 /// Renders the paper-style table.
 pub fn render(r: &Result) -> Table {
     let mut t = Table::new(
-        &format!(
-            "Table II: optimizing inlined tasks, fib({}), 1 worker",
-            r.n
-        ),
+        &format!("Table II: optimizing inlined tasks, fib({}), 1 worker", r.n),
         &["Version", "Time (s)", "Overhead (cyc)"],
     );
     for row in &r.rows {
@@ -140,3 +133,10 @@ pub fn render(r: &Result) -> Table {
     }
     t
 }
+
+minijson::impl_to_json!(Row {
+    version,
+    seconds,
+    overhead_cycles
+});
+minijson::impl_to_json!(Result { n, tasks, rows });

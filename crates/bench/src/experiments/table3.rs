@@ -15,7 +15,6 @@
 //! paper's `T_tree - T_C`, on a uniprocessor it isolates the same
 //! scheduling overhead from a serialized execution.
 
-use serde::Serialize;
 use wool_core::PoolConfig;
 use workloads::fib::fib_spawn_count;
 use workloads::{WorkloadKind, WorkloadSpec};
@@ -26,7 +25,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// One row: a system's inlined and steal costs.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// System name.
     pub system: String,
@@ -39,7 +38,7 @@ pub struct Row {
 }
 
 /// The full result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// fib argument used for the inlined column.
     pub fib_n: u64,
@@ -61,8 +60,7 @@ fn inlined_overhead(kind: SystemKind, n: u64, force_public: bool, t_s: f64) -> f
     let cfg = PoolConfig::with_workers(1).force_publish_all(force_public);
     let mut sys = System::create_with(kind, cfg);
     let m = measure_job(&mut sys, &spec, 3);
-    (m.seconds - t_s).max(0.0) * 1e9 * wool_core::cycles::ticks_per_ns()
-        / fib_spawn_count(n) as f64
+    (m.seconds - t_s).max(0.0) * 1e9 * wool_core::cycles::ticks_per_ns() / fib_spawn_count(n) as f64
 }
 
 /// Measures the steal overhead for `p = 2^k` workers on `kind`.
@@ -90,7 +88,11 @@ pub fn run(args: &BenchArgs) -> Result {
     let fib_n = super::table2::fib_n_for_scale(args.scale);
     // Large leaves so the overhead is measured against substantial work
     // (paper's C); scaled for quick runs.
-    let leaf_iters = if args.scale >= 1.0 { 4_000_000 } else { 400_000 };
+    let leaf_iters = if args.scale >= 1.0 {
+        4_000_000
+    } else {
+        400_000
+    };
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -116,8 +118,8 @@ pub fn run(args: &BenchArgs) -> Result {
     for kind in SystemKind::PAPER_SYSTEMS {
         eprintln!("[table3] {}", kind.name());
         let inlined = inlined_overhead(kind, fib_n, false, t_s);
-        let inlined_public = (kind == SystemKind::Wool)
-            .then(|| inlined_overhead(kind, fib_n, true, t_s));
+        let inlined_public =
+            (kind == SystemKind::Wool).then(|| inlined_overhead(kind, fib_n, true, t_s));
         let mut steal_cycles = Vec::new();
         for &k in &ks {
             steal_cycles.push((1usize << k, steal_overhead(kind, k, leaf_iters, hw)));
@@ -153,11 +155,7 @@ pub fn render(r: &Result) -> Table {
     );
     for row in &r.rows {
         let inlined = match row.inlined_cycles_public {
-            Some(pubc) => format!(
-                "{}-{}",
-                fmt_sig(row.inlined_cycles),
-                fmt_sig(pubc)
-            ),
+            Some(pubc) => format!("{}-{}", fmt_sig(row.inlined_cycles), fmt_sig(pubc)),
             None => fmt_sig(row.inlined_cycles),
         };
         let mut cells = vec![row.system.clone(), inlined];
@@ -168,3 +166,16 @@ pub fn render(r: &Result) -> Table {
     }
     t
 }
+
+minijson::impl_to_json!(Row {
+    system,
+    inlined_cycles,
+    inlined_cycles_public,
+    steal_cycles,
+});
+minijson::impl_to_json!(Result {
+    fib_n,
+    leaf_iters,
+    hw_threads,
+    rows
+});

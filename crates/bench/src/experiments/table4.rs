@@ -5,7 +5,6 @@
 //! counts with the §IV-D2a model and compare the predicted speedup to
 //! the measured one, per system and worker count.
 
-use serde::Serialize;
 use workloads::{WorkloadKind, WorkloadSpec};
 
 use crate::cli::BenchArgs;
@@ -15,7 +14,7 @@ use crate::report::{fmt_sig, Table};
 use crate::system::{System, SystemKind};
 
 /// Model-vs-measured for one system.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// System name.
     pub system: String,
@@ -24,7 +23,7 @@ pub struct Row {
 }
 
 /// The full result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Result {
     /// Per-repetition work, kilocycles.
     pub rep_kcycles: f64,
@@ -131,3 +130,10 @@ pub fn render(r: &Result) -> Table {
     }
     t
 }
+
+minijson::impl_to_json!(Row { system, entries });
+minijson::impl_to_json!(Result {
+    rep_kcycles,
+    rows,
+    steal_costs
+});

@@ -22,9 +22,11 @@
 pub mod cli;
 pub mod experiments;
 pub mod measure;
+pub mod microbench;
 pub mod model;
 pub mod report;
 pub mod system;
+pub mod tracing;
 
 pub use cli::BenchArgs;
 pub use measure::{measure_job, Measurement};

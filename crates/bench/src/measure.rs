@@ -8,14 +8,13 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
 use wool_core::cycles;
 
 use crate::system::System;
 use workloads::WorkloadSpec;
 
 /// One timed result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// System display name.
     pub system: String,
@@ -35,6 +34,17 @@ pub struct Measurement {
     /// Checksum of the computed result (cross-system validation).
     pub checksum: f64,
 }
+
+minijson::impl_to_json!(Measurement {
+    system,
+    workload,
+    workers,
+    seconds,
+    cycles,
+    steals,
+    spawns,
+    checksum,
+});
 
 /// Runs `spec` on `system` `repeats` times, keeping the fastest run.
 pub fn measure_job(system: &mut System, spec: &WorkloadSpec, repeats: usize) -> Measurement {

@@ -1,0 +1,148 @@
+//! A tiny Criterion-style harness for the `harness = false` bench
+//! targets, since the workspace builds without external dependencies.
+//!
+//! Usage inside a bench target:
+//!
+//! ```ignore
+//! fn main() {
+//!     let mut b = ws_bench::microbench::Bench::from_args();
+//!     b.bench("group/name", || do_work());
+//!     b.finish();
+//! }
+//! ```
+//!
+//! Each benchmark is auto-calibrated to a target sample duration, then
+//! timed over several samples; the harness reports the best and median
+//! nanoseconds per iteration (best-of is the standard noise-rejection
+//! choice for throughput kernels — interference only ever adds time).
+//! A positional CLI argument filters benchmarks by substring, matching
+//! `cargo bench -- <filter>` usage.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 12;
+/// Target wall-clock duration of one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Collects and reports benchmark timings.
+#[derive(Default)]
+pub struct Bench {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Bench {
+    /// Builds a harness from `std::env::args`, accepting the flags
+    /// cargo passes to bench binaries (`--bench`) and an optional
+    /// positional substring filter.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            if a == "--bench" || a.starts_with("--") {
+                continue;
+            }
+            filter = Some(a);
+        }
+        Bench { filter, ran: 0 }
+    }
+
+    /// Runs one benchmark unless filtered out.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Calibrate: find an iteration count filling the target sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed();
+            if dt >= TARGET_SAMPLE || iters >= 1 << 30 {
+                break;
+            }
+            // Grow towards the target with a 2x cap per step.
+            let scale = (TARGET_SAMPLE.as_secs_f64() / dt.as_secs_f64().max(1e-9)).min(2.0);
+            iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+        }
+
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let best = per_iter[0];
+        let median = per_iter[SAMPLES / 2];
+        println!(
+            "{name:<44} {:>12}/iter  (median {}, {iters} iters x {SAMPLES} samples)",
+            fmt_ns(best),
+            fmt_ns(median),
+        );
+    }
+
+    /// Prints a footer; call after the last benchmark.
+    pub fn finish(&self) {
+        if self.ran == 0 {
+            println!("(no benchmarks matched the filter)");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = Bench {
+            filter: Some("match-me".into()),
+            ran: 0,
+        };
+        let mut hits = 0;
+        b.bench("other/benchmark", || hits += 1);
+        assert_eq!(hits, 0);
+        assert_eq!(b.ran, 0);
+    }
+
+    #[test]
+    fn runs_and_counts() {
+        let mut b = Bench::default();
+        let mut hits = 0u64;
+        b.bench("fast/no-op", || hits = hits.wrapping_add(1));
+        assert!(hits > 0);
+        assert_eq!(b.ran, 1);
+        b.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.340 us");
+        assert_eq!(fmt_ns(12_340_000.0), "12.340 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

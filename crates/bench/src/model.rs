@@ -13,10 +13,8 @@
 //! balancing steal costs `C_2` on both the thief and the joining victim
 //! (factor 2). Predicted speedup is `W / cost(p)`.
 
-use serde::Serialize;
-
 /// Inputs of the Table IV model for one system and processor count.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ModelInputs {
     /// Sequential work per repetition, cycles (`RepSz`).
     pub work: f64,
@@ -29,6 +27,14 @@ pub struct ModelInputs {
     /// Processor count.
     pub p: usize,
 }
+
+minijson::impl_to_json!(ModelInputs {
+    work,
+    c2,
+    cp,
+    steals,
+    p
+});
 
 /// Predicted speedup `W / cost(p)` under the paper's model.
 pub fn steal_cost_model_speedup(m: ModelInputs) -> f64 {

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use minijson::ToJson;
 
 /// A simple fixed-width text table matching the paper's exhibits.
 #[derive(Debug, Default, Clone)]
@@ -67,16 +67,47 @@ impl Table {
 }
 
 /// Serializes `value` as pretty JSON to `path`, creating parent dirs.
-pub fn dump_json<T: Serialize>(path: &str, value: &T) {
+pub fn dump_json<T: ToJson>(path: &str, value: &T) {
     let p = Path::new(path);
     if let Some(dir) = p.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let mut f = std::fs::File::create(p)
-        .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-    let s = serde_json::to_string_pretty(value).expect("serializable");
+    let mut f = std::fs::File::create(p).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    let s = value.to_json().pretty();
     f.write_all(s.as_bytes()).expect("write json");
     eprintln!("[json] wrote {path}");
+}
+
+/// Renders the steal-graph summary computed from a run trace: the top
+/// thief→victim edges, the failed-steal ratio, and the back-off ratio
+/// the paper claims stays "considerably less than 1%" (§III-A).
+#[cfg(feature = "trace")]
+pub fn steal_summary_table(analysis: &wool_trace::Analysis) -> Table {
+    let mut t = Table::new("Steal graph (from trace)", &["edge", "steals", "share"]);
+    let total = analysis.steals.max(1) as f64;
+    for e in analysis.steal_graph.iter().take(10) {
+        t.row(vec![
+            format!("w{} <- w{}", e.thief, e.victim),
+            e.count.to_string(),
+            format!("{:.1}%", e.count as f64 / total * 100.0),
+        ]);
+    }
+    t.row(vec![
+        "total steals".into(),
+        analysis.steals.to_string(),
+        String::new(),
+    ]);
+    t.row(vec![
+        "failed-steal ratio".into(),
+        fmt_sig(analysis.failed_ratio() * 100.0) + "%",
+        String::new(),
+    ]);
+    t.row(vec![
+        "back-off ratio".into(),
+        fmt_sig(analysis.backoff_ratio() * 100.0) + "%",
+        "paper: <1%".into(),
+    ]);
+    t
 }
 
 /// Formats a float with 3 significant-ish digits for table cells.
@@ -153,7 +184,13 @@ mod tests {
         let path = path.to_str().unwrap();
         dump_json(path, &vec![1, 2, 3]);
         let s = std::fs::read_to_string(path).unwrap();
-        let v: Vec<i32> = serde_json::from_str(&s).unwrap();
-        assert_eq!(v, vec![1, 2, 3]);
+        let v = minijson::parse(&s).unwrap();
+        let nums: Vec<u64> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(nums, vec![1, 2, 3]);
     }
 }

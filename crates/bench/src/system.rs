@@ -7,8 +7,8 @@
 //! "wool", "cilk-like", "tbb-like", "omp-like").
 
 use wool_core::{
-    Executor, Job, LockedBase, Pool, PoolConfig, StealLockBase, StealLockPeek, StealLockTrylock, Stats,
-    SyncOnTask, TaskSpecific, WoolFull, WoolNoLeap,
+    Executor, Job, LockedBase, Pool, PoolConfig, Stats, StealLockBase, StealLockPeek,
+    StealLockTrylock, SyncOnTask, TaskSpecific, WoolFull, WoolNoLeap,
 };
 use ws_baseline::{
     cilk_like, omp_like, tbb_like, CentralPool, CilkLikePool, OmpLikePool, SerialExecutor,
@@ -192,9 +192,7 @@ impl System {
             System::WoolLockedBase(p) => p.last_report().map(|r| r.total).unwrap_or_default(),
             System::WoolStealLockBase(p) => p.last_report().map(|r| r.total).unwrap_or_default(),
             System::WoolStealLockPeek(p) => p.last_report().map(|r| r.total).unwrap_or_default(),
-            System::WoolStealLockTrylock(p) => {
-                p.last_report().map(|r| r.total).unwrap_or_default()
-            }
+            System::WoolStealLockTrylock(p) => p.last_report().map(|r| r.total).unwrap_or_default(),
             System::WoolNoLeapfrog(p) => p.last_report().map(|r| r.total).unwrap_or_default(),
             System::TbbLike(p) => p.stats(),
             System::CilkLike(p) => p.stats(),

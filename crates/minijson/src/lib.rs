@@ -1,0 +1,617 @@
+//! # minijson — a dependency-free JSON toolkit
+//!
+//! The repository builds in hermetic environments with no access to a
+//! crates registry, so `serde`/`serde_json` are not available. This
+//! crate provides the small slice of their functionality the workspace
+//! needs:
+//!
+//! * [`Json`] — an ordered JSON value (object keys keep insertion
+//!   order, so emitted documents are stable and diffable),
+//! * [`Json::pretty`] / [`Json::compact`] — printers with full string
+//!   escaping,
+//! * [`parse`] — a strict recursive-descent parser (used by tests to
+//!   validate emitted documents, e.g. Chrome trace files),
+//! * [`ToJson`] — a conversion trait with impls for primitives,
+//!   strings, options, vectors, slices and pairs, plus the
+//!   [`impl_to_json!`] macro that derives it for plain structs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object fields preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integral values within the
+    /// exactly-representable range print without a decimal point).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline-free
+    /// document (callers append their own newline if they want one).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    /// Renders without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind);
+            }),
+            Json::Obj(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                write_escaped(out, &fields[i].0);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                fields[i].1.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // JSON has no NaN/Infinity; emit null like serde_json does.
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shared array/object printer: `n` elements emitted by `emit`,
+/// pretty-printed when `indent` is set.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    n: usize,
+    emit: impl Fn(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(d) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        emit(out, i, inner);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(d));
+    }
+    out.push(close);
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Description of what was expected.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+pub fn parse(s: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.i, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',', "expected ',' or ']'")?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            self.expect(b',', "expected ',' or '}'")?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| self.err("invalid code point"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("control character in string")),
+                c => {
+                    // Re-assemble UTF-8 multibyte sequences: the input is
+                    // a &str, so byte runs are valid UTF-8 already.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                            self.i += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.b[start..self.i])
+                                .map_err(|_| self.err("invalid UTF-8"))?,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("short \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        self.eat(b'-');
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.eat(b'.') {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! to_json_num {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        })*
+    };
+}
+to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// struct Row { name: String, value: f64 }
+/// minijson::impl_to_json!(Row { name, value });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for src in ["null", "true", "false", "0", "-1.5", "1e3", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(parse(&v.compact()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":"x\ny","d":{"e":[]}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(parse(&v.compact()).unwrap(), v);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn integers_print_without_decimal() {
+        assert_eq!(Json::Num(3.0).compact(), "3");
+        assert_eq!(Json::Num(3.5).compact(), "3.5");
+        assert_eq!(Json::Num(-0.0).compact(), "0");
+        assert_eq!(Json::Num(f64::NAN).compact(), "null");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote\" backslash\\ newline\n tab\t unicode\u{1F600} ctrl\u{01}";
+        let v = Json::Str(s.to_string());
+        assert_eq!(parse(&v.compact()).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"\u{01}\"",
+            "{1:2}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = parse(r#"{"n": 42, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(42.0));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("s").unwrap().as_u64().is_none());
+    }
+
+    #[test]
+    fn to_json_impls() {
+        #[derive(Debug)]
+        struct Row {
+            name: String,
+            vals: Vec<(usize, f64)>,
+            opt: Option<u32>,
+        }
+        impl_to_json!(Row { name, vals, opt });
+        let r = Row {
+            name: "w".into(),
+            vals: vec![(1, 2.5)],
+            opt: None,
+        };
+        let j = r.to_json();
+        assert_eq!(j.compact(), r#"{"name":"w","vals":[[1,2.5]],"opt":null}"#);
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let v = parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        let p = v.pretty();
+        assert!(p.contains("\n  \"a\": [\n    1\n  ]"), "{p}");
+    }
+}

@@ -27,6 +27,15 @@ pub struct PoolConfig {
     pub instrument_time: bool,
     /// The `C` of the realistic span model, in cycles.
     pub span_overhead: u64,
+    /// Enable per-worker event tracing for the next runs. Only takes
+    /// effect when the crate is built with the `trace` cargo feature;
+    /// without it the field is accepted and ignored (the recording
+    /// macro compiles to nothing).
+    pub instrument_trace: bool,
+    /// Per-worker trace ring capacity, in events. When a run records
+    /// more, the oldest events are overwritten (and counted as dropped
+    /// in the collected trace).
+    pub trace_capacity: usize,
 }
 
 impl Default for PoolConfig {
@@ -40,6 +49,8 @@ impl Default for PoolConfig {
             instrument_span: false,
             instrument_time: false,
             span_overhead: DEFAULT_OVERHEAD_CYCLES,
+            instrument_trace: false,
+            trace_capacity: 1 << 20,
         }
     }
 }
@@ -77,6 +88,19 @@ impl PoolConfig {
         self
     }
 
+    /// Builder-style: enables event tracing (needs the `trace` cargo
+    /// feature to record anything).
+    pub fn instrument_trace(mut self, on: bool) -> Self {
+        self.instrument_trace = on;
+        self
+    }
+
+    /// Builder-style: sets the per-worker trace ring capacity.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
+        self
+    }
+
     /// Validates the configuration, normalizing degenerate values.
     pub fn validated(mut self) -> Self {
         assert!(self.workers >= 1, "a pool needs at least one worker");
@@ -87,6 +111,7 @@ impl PoolConfig {
         self.stack_capacity = self.stack_capacity.max(16);
         self.publish_batch = self.publish_batch.max(1);
         self.trip_distance = self.trip_distance.max(1);
+        self.trace_capacity = self.trace_capacity.max(1);
         self
     }
 }
@@ -122,6 +147,16 @@ mod tests {
         assert_eq!(c.workers, 3);
         assert_eq!(c.stack_capacity, 64);
         assert!(c.instrument_span && c.instrument_time && c.force_publish_all);
+    }
+
+    #[test]
+    fn trace_builders() {
+        let c = PoolConfig::with_workers(1)
+            .instrument_trace(true)
+            .trace_capacity(0)
+            .validated();
+        assert!(c.instrument_trace);
+        assert_eq!(c.trace_capacity, 1, "degenerate capacity normalized");
     }
 
     #[test]

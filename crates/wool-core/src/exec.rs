@@ -29,8 +29,8 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 use crate::cycles;
 use crate::pool::PoolInner;
 use crate::slot::{
-    is_done, is_stolen, spin_while_empty, stolen, thief_of, RawWrapper, TaskRepr, TaskSlot,
-    DONE, DONE_PANIC, EMPTY, TASK,
+    is_done, is_stolen, spin_while_empty, stolen, thief_of, RawWrapper, TaskRepr, TaskSlot, DONE,
+    DONE_PANIC, EMPTY, TASK,
 };
 use crate::span::combine;
 use crate::strategy::{StealSync, Strategy};
@@ -397,6 +397,7 @@ impl<S: Strategy> WorkerHandle<S> {
                 self.publish();
             }
         }
+        trace_ev!(self, Spawn, k + 1);
         Ok(())
     }
 
@@ -415,6 +416,7 @@ impl<S: Strategy> WorkerHandle<S> {
             // see the TASK states and closure data written before it.
             wkr.n_public.store(new, Release);
             own.stats.publishes += 1;
+            trace_ev!(self, Publish, new - np);
         }
     }
 
@@ -455,6 +457,7 @@ impl<S: Strategy> WorkerHandle<S> {
                 }
             }
             slot.state.store(EMPTY, Relaxed);
+            trace_ev!(self, JoinFastPrivate, k);
             return self.call_inline::<B>(slot, instr);
         }
 
@@ -471,6 +474,7 @@ impl<S: Strategy> WorkerHandle<S> {
                     wkr.n_public.store(k, Release);
                 }
             }
+            trace_ev!(self, JoinFastPublic, k);
             return self.call_inline::<B>(slot, instr);
         }
         self.rts_join::<B>(slot, k, s, instr)
@@ -495,12 +499,24 @@ impl<S: Strategy> WorkerHandle<S> {
 
         if !was_stolen {
             own.stats.inlined_public += 1;
+            trace_ev!(self, JoinFastPublic, k);
             return self.call_inline::<B>(slot, instr);
         }
         own.stats.rts_joins += 1;
         own.stats.stolen_joins += 1;
         let s = slot.state.load(Acquire);
         debug_assert!(is_stolen(s) || is_done(s));
+        trace_ev!(
+            self,
+            JoinSlow,
+            if is_stolen(s) {
+                thief_of(s)
+            } else {
+                // The thief already completed the task; its identity is
+                // gone from the state word.
+                u32::MAX as usize
+            }
+        );
         let s = if is_stolen(s) {
             self.leap_wait(slot, thief_of(s))
         } else {
@@ -578,6 +594,8 @@ impl<S: Strategy> WorkerHandle<S> {
         instr: bool,
     ) -> (B::Output, (u64, u64)) {
         self.own().stats.rts_joins += 1;
+        #[cfg(feature = "trace")]
+        let mut join_thief = u32::MAX as usize;
         loop {
             if s == EMPTY {
                 // Transient: a thief is between its CAS and either its
@@ -594,6 +612,10 @@ impl<S: Strategy> WorkerHandle<S> {
                 continue;
             }
             if is_stolen(s) {
+                #[cfg(feature = "trace")]
+                {
+                    join_thief = thief_of(s);
+                }
                 s = self.leap_wait(slot, thief_of(s));
             }
             debug_assert!(is_done(s), "unexpected task state {s}");
@@ -601,6 +623,7 @@ impl<S: Strategy> WorkerHandle<S> {
             // wait for it); count it here so `stolen_joins` matches the
             // thieves' steal counters exactly.
             self.own().stats.stolen_joins += 1;
+            trace_ev!(self, JoinSlow, join_thief);
             // Maintain `n_public <= top`: the stolen task may have been
             // the last public descriptor; everything above `k` is dead.
             {
@@ -659,6 +682,7 @@ impl<S: Strategy> WorkerHandle<S> {
             own.top += 1;
             own.tb.switch(Category::Lf)
         };
+        trace_ev!(self, Leapfrog, thief);
         let mut idle = 0u32;
         let s = loop {
             let s = slot.state.load(Acquire);
@@ -714,20 +738,36 @@ impl<S: Strategy> WorkerHandle<S> {
     pub(crate) unsafe fn try_steal_from(&mut self, victim_idx: usize, leap: bool) -> StealOutcome {
         debug_assert_ne!(victim_idx, self.idx);
         let victim: &Worker = &self.pool().workers[victim_idx];
+        trace_ev!(self, StealAttempt, victim_idx);
 
-        if S::SHARED_TOP {
-            return self.steal_shared_top(victim, leap);
+        let out = if S::SHARED_TOP {
+            self.steal_shared_top(victim, victim_idx, leap)
+        } else {
+            match S::STEAL_SYNC {
+                StealSync::NoLock => self.steal_nolock(victim, victim_idx, leap),
+                StealSync::LockBase => {
+                    self.steal_locked(victim, victim_idx, leap, LockMode::Always)
+                }
+                StealSync::LockPeek => self.steal_locked(victim, victim_idx, leap, LockMode::Peek),
+                StealSync::LockTrylock => {
+                    self.steal_locked(victim, victim_idx, leap, LockMode::Trylock)
+                }
+            }
+        };
+        if !matches!(out, StealOutcome::Executed) {
+            trace_ev!(self, StealFail, victim_idx);
         }
-        match S::STEAL_SYNC {
-            StealSync::NoLock => self.steal_nolock(victim, leap),
-            StealSync::LockBase => self.steal_locked(victim, leap, LockMode::Always),
-            StealSync::LockPeek => self.steal_locked(victim, leap, LockMode::Peek),
-            StealSync::LockTrylock => self.steal_locked(victim, leap, LockMode::Trylock),
-        }
+        out
     }
 
     /// The direct task stack steal (`RTS_steal` in Figure 3).
-    unsafe fn steal_nolock(&mut self, victim: &Worker, leap: bool) -> StealOutcome {
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
+    unsafe fn steal_nolock(
+        &mut self,
+        victim: &Worker,
+        victim_idx: usize,
+        leap: bool,
+    ) -> StealOutcome {
         let b = victim.bot.load(Acquire);
         if S::PRIVATE_TASKS {
             let np = victim.n_public.load(Acquire);
@@ -739,6 +779,7 @@ impl<S: Strategy> WorkerHandle<S> {
                 let own = self.own();
                 own.stats.failed_steals += 1;
                 own.stats.publish_requests += 1;
+                trace_ev!(self, PublishRequest, victim_idx);
                 return StealOutcome::Empty;
             }
         }
@@ -764,14 +805,14 @@ impl<S: Strategy> WorkerHandle<S> {
         // *reincarnation* of the descriptor; validate that `bot` still
         // points here (and, with private tasks, that the descriptor is
         // still public).
-        if victim.bot.load(Acquire) != b
-            || (S::PRIVATE_TASKS && victim.n_public.load(Acquire) <= b)
+        if victim.bot.load(Acquire) != b || (S::PRIVATE_TASKS && victim.n_public.load(Acquire) <= b)
         {
             // "Writing back the old value of state is appropriate since
             // the transient value (EMPTY) only makes thieves abort and
             // the joining owner wait." (§III-A)
             slot.state.store(TASK, Release);
             self.own().stats.backoffs += 1;
+            trace_ev!(self, Backoff, victim_idx);
             return StealOutcome::Retry;
         }
         slot.state.store(stolen(self.idx), Release);
@@ -782,16 +823,20 @@ impl<S: Strategy> WorkerHandle<S> {
             let np = victim.n_public.load(Relaxed);
             if np.saturating_sub(b + 1) < self.trip_distance {
                 victim.publish_request.store(true, Relaxed);
+                trace_ev!(self, PublishRequest, victim_idx);
             }
         }
+        trace_ev!(self, StealSuccess, victim_idx);
         self.execute_stolen(slot, leap);
         StealOutcome::Executed
     }
 
     /// §IV-C lock-based steal protocols (Figure 4's base/peek/trylock).
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
     unsafe fn steal_locked(
         &mut self,
         victim: &Worker,
+        victim_idx: usize,
         leap: bool,
         mode: LockMode,
     ) -> StealOutcome {
@@ -840,6 +885,7 @@ impl<S: Strategy> WorkerHandle<S> {
         slot.state.store(stolen(self.idx), Release);
         victim.bot.store(b + 1, Relaxed);
         victim.lock.unlock();
+        trace_ev!(self, StealSuccess, victim_idx);
         self.execute_stolen(slot, leap);
         StealOutcome::Executed
     }
@@ -847,7 +893,13 @@ impl<S: Strategy> WorkerHandle<S> {
     /// Table II *base* steal: everything under the victim lock, validity
     /// decided by the `top`/`bot` comparison; the state word is only a
     /// completion signal.
-    unsafe fn steal_shared_top(&mut self, victim: &Worker, leap: bool) -> StealOutcome {
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
+    unsafe fn steal_shared_top(
+        &mut self,
+        victim: &Worker,
+        victim_idx: usize,
+        leap: bool,
+    ) -> StealOutcome {
         victim.lock.lock();
         let b = victim.bot.load(Relaxed);
         let t = victim.top_shared.load(Acquire);
@@ -863,6 +915,7 @@ impl<S: Strategy> WorkerHandle<S> {
         slot.state.store(stolen(self.idx), Release);
         victim.bot.store(b + 1, Relaxed);
         victim.lock.unlock();
+        trace_ev!(self, StealSuccess, victim_idx);
         self.execute_stolen(slot, leap);
         StealOutcome::Executed
     }

@@ -44,10 +44,39 @@
 
 #![warn(missing_docs)]
 
+/// Records a scheduler event into the calling worker's trace ring.
+///
+/// `$h` is anything with an `own()` accessor to the worker's
+/// [`worker::OwnerState`] (in practice a `WorkerHandle`). Expands to
+/// nothing without the `trace` cargo feature, so instrumented hot paths
+/// compile to exactly the uninstrumented code. With the feature on but
+/// tracing not enabled for the run, the cost is one branch — the
+/// timestamp is only read when the ring is live.
+///
+/// Callers must satisfy the `own()` contract (owner thread, short-lived
+/// borrow); every use site is inside code already operating under it.
+#[cfg(feature = "trace")]
+macro_rules! trace_ev {
+    ($h:expr, $kind:ident, $arg:expr) => {{
+        let own = $h.own();
+        if own.trace.is_enabled() {
+            let ts = $crate::cycles::now();
+            own.trace
+                .record(::wool_trace::EventKind::$kind, ts, ($arg) as u32);
+        }
+    }};
+}
+
+#[cfg(not(feature = "trace"))]
+macro_rules! trace_ev {
+    ($h:expr, $kind:ident, $arg:expr) => {};
+}
+
 pub mod api;
 pub mod config;
 pub mod cycles;
 mod exec;
+pub mod pad;
 mod pool;
 pub mod scope;
 pub mod slot;
@@ -58,6 +87,9 @@ pub mod strategy;
 pub mod timebreak;
 mod worker;
 
+#[cfg(feature = "trace")]
+pub use wool_trace;
+
 pub use api::{Executor, Fork, Job};
 pub use config::PoolConfig;
 pub use exec::WorkerHandle;
@@ -65,8 +97,8 @@ pub use pool::{Pool, RunReport};
 pub use scope::Scope;
 pub use stats::Stats;
 pub use strategy::{
-    LockedBase, StealLockBase, StealLockPeek, StealLockTrylock, Strategy, SyncOnTask,
-    TaskSpecific, WoolFull, WoolNoLeap,
+    LockedBase, StealLockBase, StealLockPeek, StealLockTrylock, Strategy, SyncOnTask, TaskSpecific,
+    WoolFull, WoolNoLeap,
 };
 
 #[cfg(test)]
@@ -147,7 +179,11 @@ mod tests {
         pool.run(|h| fib(h, 15));
         let report = pool.last_report().unwrap();
         // fib(15) spawns one task per internal call-tree node.
-        assert!(report.total.spawns > 500, "spawns = {}", report.total.spawns);
+        assert!(
+            report.total.spawns > 500,
+            "spawns = {}",
+            report.total.spawns
+        );
         // Single worker: every join is inlined, never stolen.
         assert_eq!(report.total.steals, 0);
         assert_eq!(report.total.stolen_joins, 0);
@@ -202,7 +238,10 @@ mod tests {
         });
         let t = pool.last_report().unwrap().total;
         assert!(t.total_steals() >= 1, "{t:?}");
-        assert!(t.publishes >= 1, "steal must have required publication: {t:?}");
+        assert!(
+            t.publishes >= 1,
+            "steal must have required publication: {t:?}"
+        );
     }
 
     #[test]

@@ -92,6 +92,8 @@ pub struct Pool<S: Strategy = WoolFull> {
     inner: Arc<PoolInner>,
     threads: Vec<JoinHandle<()>>,
     last_report: Option<RunReport>,
+    #[cfg(feature = "trace")]
+    last_trace: Option<wool_trace::Trace>,
     _strategy: PhantomData<S>,
 }
 
@@ -114,6 +116,16 @@ impl<S: Strategy> Pool<S> {
             epoch: AtomicU64::new(0),
             completed: AtomicU64::new(0),
         });
+        #[cfg(feature = "trace")]
+        if inner.cfg.instrument_trace {
+            for w in inner.workers.iter() {
+                // SAFETY: no worker thread exists yet; this thread has
+                // exclusive access to every owner cell.
+                unsafe {
+                    (*w.own.get()).trace = wool_trace::TraceRing::new(inner.cfg.trace_capacity);
+                }
+            }
+        }
         let threads = (1..p)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -127,6 +139,8 @@ impl<S: Strategy> Pool<S> {
             inner,
             threads,
             last_report: None,
+            #[cfg(feature = "trace")]
+            last_trace: None,
             _strategy: PhantomData,
         }
     }
@@ -167,6 +181,11 @@ impl<S: Strategy> Pool<S> {
             own.span.reset(cfg.instrument_span, cfg.span_overhead);
             own.tb.reset(cfg.instrument_time, Category::Na);
             own.seen_epoch = epoch;
+            #[cfg(feature = "trace")]
+            if cfg.instrument_trace {
+                own.trace.clear();
+                own.trace.set_enabled(true);
+            }
         }
         debug_assert_eq!(w0.bot.load(Relaxed), 0);
         // `n_public` may be left above the (empty) stack when the last
@@ -193,6 +212,8 @@ impl<S: Strategy> Pool<S> {
         // Worker 0's report.
         let (w0_stats, w0_work, w0_span0, w0_span_c, w0_tb) = unsafe {
             let own = &mut *w0.own.get();
+            #[cfg(feature = "trace")]
+            own.trace.set_enabled(false);
             let (work, span0, span_c) = own.span.finish();
             let tb = own.tb.finish();
             (own.stats, work, span0, span_c, tb)
@@ -205,6 +226,13 @@ impl<S: Strategy> Pool<S> {
         per_worker.push(w0_stats);
         per_worker_breakdown.push(w0_tb);
         let mut work = w0_work;
+        #[cfg(feature = "trace")]
+        let mut trace_snaps = if cfg.instrument_trace {
+            // SAFETY: this thread is worker 0's owner.
+            vec![unsafe { (*w0.own.get()).trace.snapshot(0) }]
+        } else {
+            Vec::new()
+        };
         for i in 1..p {
             let w = &inner.workers[i];
             let mut spins = 0u32;
@@ -223,6 +251,20 @@ impl<S: Strategy> Pool<S> {
             work += report.work;
             per_worker.push(report.stats);
             per_worker_breakdown.push(report.breakdown);
+            #[cfg(feature = "trace")]
+            if cfg.instrument_trace {
+                // SAFETY: covered by the same Acquire edge as `report`:
+                // the worker disables its ring strictly before the
+                // Release publish and re-enables it only at the next
+                // region start, which requires `&mut self`.
+                trace_snaps.push(unsafe { (*w.own.get()).trace.snapshot(i) });
+            }
+        }
+        #[cfg(feature = "trace")]
+        {
+            self.last_trace = cfg
+                .instrument_trace
+                .then(|| wool_trace::Trace::new(trace_snaps, cycles::ticks_per_ns()));
         }
         let total: Stats = per_worker.iter().copied().sum();
         let mut breakdown = TimeBreakdown::default();
@@ -250,6 +292,20 @@ impl<S: Strategy> Pool<S> {
     /// The report of the most recent [`run`](Pool::run), if any.
     pub fn last_report(&self) -> Option<&RunReport> {
         self.last_report.as_ref()
+    }
+
+    /// The event trace of the most recent [`run`](Pool::run), when the
+    /// pool was configured with
+    /// [`instrument_trace`](PoolConfig::instrument_trace).
+    #[cfg(feature = "trace")]
+    pub fn last_trace(&self) -> Option<&wool_trace::Trace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Takes ownership of the most recent run's event trace.
+    #[cfg(feature = "trace")]
+    pub fn take_trace(&mut self) -> Option<wool_trace::Trace> {
+        self.last_trace.take()
     }
 }
 
@@ -288,6 +344,13 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                     own.stats = Stats::default();
                     own.span.reset(cfg.instrument_span, cfg.span_overhead);
                     own.tb.reset(cfg.instrument_time, Category::St);
+                    #[cfg(feature = "trace")]
+                    if cfg.instrument_trace {
+                        own.trace.clear();
+                        own.trace.set_enabled(true);
+                        own.trace
+                            .record(wool_trace::EventKind::Unpark, cycles::now(), 0);
+                    }
                 }
             }
             // SAFETY: this thread owns worker `idx`.
@@ -295,10 +358,24 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
             if got {
                 idle = 0;
             } else {
+                #[cfg(feature = "trace")]
+                if idle == 0 {
+                    // First empty-handed round after useful work: the
+                    // start of an idle span on the exported timeline
+                    // (closed by the next steal success).
+                    // SAFETY: this thread owns worker `idx`.
+                    unsafe { trace_ev!(handle, Idle, 0) }
+                }
                 idle += 1;
                 if idle < 32 {
                     std::hint::spin_loop();
                 } else {
+                    #[cfg(feature = "trace")]
+                    if idle == 32 {
+                        // Escalation from spinning to yielding the CPU.
+                        // SAFETY: this thread owns worker `idx`.
+                        unsafe { trace_ev!(handle, Park, 0) }
+                    }
                     // Crucial on oversubscribed hosts: let victims run.
                     std::thread::yield_now();
                 }
@@ -315,6 +392,11 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                 // `report_epoch`, which we Release-store below.
                 unsafe {
                     let own = handle.own();
+                    // Stop writing the trace ring before the Release
+                    // below: the coordinator reads it after the
+                    // matching Acquire.
+                    #[cfg(feature = "trace")]
+                    own.trace.set_enabled(false);
                     let report = if own.seen_epoch == done {
                         let (work, _, _) = own.span.finish();
                         WorkerReport {

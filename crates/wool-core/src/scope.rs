@@ -156,13 +156,17 @@ mod tests {
     #[test]
     fn scope_returns_value_and_borrows_stack() {
         let mut pool: Pool = Pool::new(2);
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = pool.run(|h| {
             let partial = AtomicU64::new(0);
             let r = h.scope(|h, s| {
                 let (lo, hi) = data.split_at(2);
-                s.spawn(h, |_| _ = partial.fetch_add(lo.iter().sum::<u64>(), Ordering::Relaxed));
-                s.spawn(h, |_| _ = partial.fetch_add(hi.iter().sum::<u64>(), Ordering::Relaxed));
+                s.spawn(h, |_| {
+                    _ = partial.fetch_add(lo.iter().sum::<u64>(), Ordering::Relaxed)
+                });
+                s.spawn(h, |_| {
+                    _ = partial.fetch_add(hi.iter().sum::<u64>(), Ordering::Relaxed)
+                });
                 42u64
             });
             assert_eq!(r, 42);
@@ -186,7 +190,10 @@ mod tests {
                 }
             });
         });
-        assert_eq!(total.load(Ordering::Relaxed), (0..8).map(|i| 3 * i).sum::<u64>());
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            (0..8).map(|i| 3 * i).sum::<u64>()
+        );
     }
 
     #[test]

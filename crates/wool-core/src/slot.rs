@@ -370,7 +370,9 @@ mod tests {
     where
         F: FnOnce() -> R,
     {
-        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool { true }
+        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool {
+            true
+        }
         let slot = TaskSlot::default();
         // SAFETY: single-threaded test; we own the slot throughout.
         unsafe {
@@ -421,7 +423,9 @@ mod tests {
     #[test]
     fn panic_payload_roundtrip() {
         let slot = TaskSlot::default();
-        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool { true }
+        unsafe fn wrapper(_: *const TaskSlot, _: *mut ()) -> bool {
+            true
+        }
         fn boom() -> u64 {
             panic!("boom-42")
         }

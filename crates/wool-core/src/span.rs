@@ -225,10 +225,7 @@ mod tests {
             }
             let a = tree(s, depth - 1, leaf);
             let b = tree(s, depth - 1, leaf);
-            (
-                combine(a.0, b.0, 0),
-                combine(a.1, b.1, s.overhead),
-            )
+            (combine(a.0, b.0, 0), combine(a.1, b.1, s.overhead))
         }
         let mut s = SpanState::default();
         s.reset(true, 2000);

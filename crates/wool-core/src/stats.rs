@@ -122,6 +122,129 @@ mod tests {
         assert_eq!(t.backoffs, 1);
     }
 
+    /// Deterministic xorshift64*; same generator as the protocol tests.
+    fn rng(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn random_stats(seed: &mut u64) -> Stats {
+        Stats {
+            spawns: rng(seed) >> 32,
+            inlined_private: rng(seed) >> 32,
+            inlined_public: rng(seed) >> 32,
+            rts_joins: rng(seed) >> 32,
+            stolen_joins: rng(seed) >> 32,
+            steals: rng(seed) >> 32,
+            leap_steals: rng(seed) >> 32,
+            failed_steals: rng(seed) >> 32,
+            lost_races: rng(seed) >> 32,
+            backoffs: rng(seed) >> 32,
+            publishes: rng(seed) >> 32,
+            publish_requests: rng(seed) >> 32,
+            overflow_inlines: rng(seed) >> 32,
+        }
+    }
+
+    /// Fieldwise view of every counter, so merge tests cannot silently
+    /// ignore a newly added field: this match is exhaustive.
+    fn fields(s: &Stats) -> [u64; 13] {
+        let Stats {
+            spawns,
+            inlined_private,
+            inlined_public,
+            rts_joins,
+            stolen_joins,
+            steals,
+            leap_steals,
+            failed_steals,
+            lost_races,
+            backoffs,
+            publishes,
+            publish_requests,
+            overflow_inlines,
+        } = *s;
+        [
+            spawns,
+            inlined_private,
+            inlined_public,
+            rts_joins,
+            stolen_joins,
+            steals,
+            leap_steals,
+            failed_steals,
+            lost_races,
+            backoffs,
+            publishes,
+            publish_requests,
+            overflow_inlines,
+        ]
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..100 {
+            let (a, b) = (random_stats(&mut seed), random_stats(&mut seed));
+            let mut ab = a;
+            ab += b;
+            let mut ba = b;
+            ba += a;
+            assert_eq!(ab, ba);
+        }
+    }
+
+    #[test]
+    fn merge_is_lossless_per_field() {
+        // Merging must preserve every counter: the aggregate of N
+        // worker reports equals the fieldwise sum, no field dropped or
+        // double-counted.
+        let mut seed = 0xDEAD_BEEF_CAFE_F00Du64;
+        for _ in 0..20 {
+            let parts: Vec<Stats> = (0..7).map(|_| random_stats(&mut seed)).collect();
+            let merged: Stats = parts.iter().copied().sum();
+            let mut expect = [0u64; 13];
+            for p in &parts {
+                for (e, f) in expect.iter_mut().zip(fields(p)) {
+                    *e += f;
+                }
+            }
+            assert_eq!(fields(&merged), expect);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut seed = 1u64;
+        let (a, b, c) = (
+            random_stats(&mut seed),
+            random_stats(&mut seed),
+            random_stats(&mut seed),
+        );
+        let mut left = a;
+        left += b;
+        left += c;
+        let mut bc = b;
+        bc += c;
+        let mut right = a;
+        right += bc;
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn default_is_merge_identity() {
+        let mut seed = 42u64;
+        let a = random_stats(&mut seed);
+        let mut x = a;
+        x += Stats::default();
+        assert_eq!(x, a);
+        let mut y = Stats::default();
+        y += a;
+        assert_eq!(y, a);
+    }
+
     #[test]
     fn ratios_handle_zero() {
         let s = Stats::default();

@@ -34,8 +34,13 @@ pub enum Category {
 
 impl Category {
     /// All categories in display order.
-    pub const ALL: [Category; 5] =
-        [Category::Tr, Category::Na, Category::La, Category::St, Category::Lf];
+    pub const ALL: [Category; 5] = [
+        Category::Tr,
+        Category::Na,
+        Category::La,
+        Category::St,
+        Category::Lf,
+    ];
 
     /// The paper's two-letter label.
     pub fn label(self) -> &'static str {
@@ -204,6 +209,56 @@ mod tests {
         assert_eq!(a.get(Category::Na), 15);
         assert_eq!(a.get(Category::St), 7);
         assert_eq!(a.total(), 22);
+    }
+
+    /// Deterministic xorshift64*; same generator as the protocol tests.
+    fn rng(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn random_breakdown(seed: &mut u64) -> TimeBreakdown {
+        let mut t = TimeBreakdown::default();
+        for c in Category::ALL {
+            t.acc[c as usize] = rng(seed) >> 32;
+        }
+        t
+    }
+
+    #[test]
+    fn merge_is_commutative_and_lossless() {
+        let mut seed = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..100 {
+            let (a, b) = (random_breakdown(&mut seed), random_breakdown(&mut seed));
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            for c in Category::ALL {
+                // Commutative and lossless in every category: no cycle
+                // is dropped or double-counted when worker breakdowns
+                // are aggregated.
+                assert_eq!(ab.get(c), ba.get(c));
+                assert_eq!(ab.get(c), a.get(c) + b.get(c));
+            }
+            assert_eq!(ab.total(), a.total() + b.total());
+        }
+    }
+
+    #[test]
+    fn default_is_merge_identity() {
+        let mut seed = 7u64;
+        let a = random_breakdown(&mut seed);
+        let mut x = a;
+        x.merge(&TimeBreakdown::default());
+        let mut y = TimeBreakdown::default();
+        y.merge(&a);
+        for c in Category::ALL {
+            assert_eq!(x.get(c), a.get(c));
+            assert_eq!(y.get(c), a.get(c));
+        }
     }
 
     #[test]

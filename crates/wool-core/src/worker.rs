@@ -22,7 +22,7 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 
 use crate::slot::TaskSlot;
 use crate::span::SpanState;
@@ -45,6 +45,10 @@ pub(crate) struct OwnerState {
     pub tb: TimeBreak,
     /// Region epoch this worker has most recently initialized for.
     pub seen_epoch: u64,
+    /// Event trace ring (owner-writes-only; see `wool-trace`). Sized by
+    /// the pool at construction when tracing is configured.
+    #[cfg(feature = "trace")]
+    pub trace: wool_trace::TraceRing,
 }
 
 impl OwnerState {
@@ -56,6 +60,10 @@ impl OwnerState {
             span: SpanState::default(),
             tb: TimeBreak::default(),
             seen_epoch: 0,
+            // Minimal placeholder; the pool installs a ring of the
+            // configured capacity before any thread starts.
+            #[cfg(feature = "trace")]
+            trace: wool_trace::TraceRing::new(1),
         }
     }
 
@@ -110,8 +118,13 @@ pub(crate) struct Worker {
 // worker 0 is driven by the single thread inside `Pool::run`, which
 // holds `&mut Pool`); `report` is written by that thread and read by the
 // coordinator only after it Acquire-reads a matching `report_epoch`
-// value, which the owner Release-writes after the report. All other
-// fields are atomics, the lock, or `TaskSlot`s with their own protocol.
+// value, which the owner Release-writes after the report. The one
+// exception for `own` is the trace ring (feature `trace`): the
+// coordinator reads `own.trace` of other workers, but only after the
+// same `report_epoch` acquire — the owner disables the ring and stops
+// writing it strictly before the Release publish, so those reads race
+// with nothing. All other fields are atomics, the lock, or `TaskSlot`s
+// with their own protocol.
 unsafe impl Sync for Worker {}
 unsafe impl Send for Worker {}
 
@@ -168,12 +181,7 @@ mod tests {
         let a = Worker::new(0, 16);
         let b = Worker::new(1, 16);
         // SAFETY: exclusive access in test.
-        let (ra, rb) = unsafe {
-            (
-                (*a.own.get()).next_rand(),
-                (*b.own.get()).next_rand(),
-            )
-        };
+        let (ra, rb) = unsafe { ((*a.own.get()).next_rand(), (*b.own.get()).next_rand()) };
         assert_ne!(ra, rb);
     }
 

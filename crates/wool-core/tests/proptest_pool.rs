@@ -1,13 +1,30 @@
-//! Property-based tests of the direct task stack scheduler: randomly
+//! Property-style tests of the direct task stack scheduler: randomly
 //! shaped fork/for-each programs must match a sequential model exactly,
 //! on every strategy, across worker counts and tiny stack capacities
-//! (exercising the overflow fallback).
+//! (exercising the overflow fallback). Programs are generated with a
+//! seeded xorshift64* generator so runs are deterministic without an
+//! external property testing crate.
 
-use proptest::prelude::*;
 use wool_core::{
     LockedBase, Pool, PoolConfig, StealLockTrylock, SyncOnTask, TaskSpecific, WoolFull,
     WorkerHandle,
 };
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
 
 /// A random program over the fork-join API.
 #[derive(Debug, Clone)]
@@ -18,17 +35,27 @@ enum Prog {
     Loop(u8, Box<Prog>),
 }
 
-fn prog_strategy() -> impl Strategy<Value = Prog> {
-    let leaf = (0u8..32).prop_map(Prog::Work);
-    leaf.prop_recursive(4, 40, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Prog::Fork(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Prog::Seq(Box::new(a), Box::new(b))),
-            ((1u8..6), inner).prop_map(|(n, p)| Prog::Loop(n, Box::new(p))),
-        ]
-    })
+/// Random program of depth at most `depth` (mirrors the old proptest
+/// recursive strategy: leaves are `Work`, interior nodes pick among
+/// fork / sequence / bounded spawn loop).
+fn random_prog(rng: &mut Rng, depth: u32) -> Prog {
+    if depth == 0 || rng.next() % 4 == 0 {
+        return Prog::Work((rng.next() % 32) as u8);
+    }
+    match rng.next() % 3 {
+        0 => Prog::Fork(
+            Box::new(random_prog(rng, depth - 1)),
+            Box::new(random_prog(rng, depth - 1)),
+        ),
+        1 => Prog::Seq(
+            Box::new(random_prog(rng, depth - 1)),
+            Box::new(random_prog(rng, depth - 1)),
+        ),
+        _ => Prog::Loop(
+            (1 + rng.next() % 5) as u8,
+            Box::new(random_prog(rng, depth - 1)),
+        ),
+    }
 }
 
 fn model(p: &Prog) -> u64 {
@@ -38,9 +65,7 @@ fn model(p: &Prog) -> u64 {
         Prog::Seq(a, b) => model(a) ^ model(b).rotate_left(17),
         Prog::Loop(n, p) => {
             let inner = model(p);
-            (0..*n as u64).fold(0u64, |acc, i| {
-                acc.wrapping_add(inner.wrapping_mul(i + 1))
-            })
+            (0..*n as u64).fold(0u64, |acc, i| acc.wrapping_add(inner.wrapping_mul(i + 1)))
         }
     }
 }
@@ -82,41 +107,55 @@ fn check<S: wool_core::Strategy>(prog: &Prog, workers: usize, capacity: usize) {
     assert_eq!(got, model(prog), "strategy {}", S::NAME);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn wool_matches_model(prog in prog_strategy(), workers in 1usize..4) {
+#[test]
+fn wool_matches_model() {
+    let mut rng = Rng::new(0xA11CE);
+    for case in 0..48 {
+        let prog = random_prog(&mut rng, 4);
+        let workers = 1 + case % 3;
         check::<WoolFull>(&prog, workers, 8192);
     }
+}
 
-    #[test]
-    fn all_strategies_match_model(prog in prog_strategy()) {
+#[test]
+fn all_strategies_match_model() {
+    let mut rng = Rng::new(0x5712A7);
+    for _ in 0..24 {
+        let prog = random_prog(&mut rng, 4);
         check::<WoolFull>(&prog, 2, 8192);
         check::<TaskSpecific>(&prog, 2, 8192);
         check::<SyncOnTask>(&prog, 2, 8192);
         check::<LockedBase>(&prog, 2, 8192);
         check::<StealLockTrylock>(&prog, 2, 8192);
     }
+}
 
-    /// Tiny stacks force the eager-overflow path mid-program.
-    #[test]
-    fn overflow_fallback_matches_model(prog in prog_strategy()) {
+/// Tiny stacks force the eager-overflow path mid-program.
+#[test]
+fn overflow_fallback_matches_model() {
+    let mut rng = Rng::new(0x0F10);
+    for _ in 0..48 {
+        let prog = random_prog(&mut rng, 4);
         check::<WoolFull>(&prog, 2, 16);
     }
+}
 
-    /// Statistics identity: joins account for every spawn.
-    #[test]
-    fn spawn_join_accounting(prog in prog_strategy(), workers in 1usize..4) {
+/// Statistics identity: joins account for every spawn.
+#[test]
+fn spawn_join_accounting() {
+    let mut rng = Rng::new(0xACC7);
+    for case in 0..48 {
+        let prog = random_prog(&mut rng, 4);
+        let workers = 1 + case % 3;
         let mut pool: Pool<WoolFull> = Pool::new(workers);
         let got = pool.run(|h| eval(h, &prog));
-        prop_assert_eq!(got, model(&prog));
+        assert_eq!(got, model(&prog));
         let t = pool.last_report().unwrap().total;
-        prop_assert_eq!(
+        assert_eq!(
             t.spawns,
             t.inlined_private + t.inlined_public + t.rts_joins,
-            "{:?}", t
+            "{t:?}"
         );
-        prop_assert_eq!(t.total_steals(), t.stolen_joins, "{:?}", t);
+        assert_eq!(t.total_steals(), t.stolen_joins, "{t:?}");
     }
 }

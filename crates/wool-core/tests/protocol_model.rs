@@ -115,8 +115,7 @@ impl State {
     }
 
     fn terminal(&self) -> bool {
-        self.owner == OwnerPc::Finished
-            && self.thieves.iter().all(|t| t.pc == ThiefPc::Stopped)
+        self.owner == OwnerPc::Finished && self.thieves.iter().all(|t| t.pc == ThiefPc::Stopped)
     }
 
     /// All successor states (each = one atomic step by one agent).

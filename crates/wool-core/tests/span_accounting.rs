@@ -1,7 +1,7 @@
 //! Quantitative checks of the online work/span instrumentation against
 //! analytically known task DAGs.
 
-use wool_core::{Pool, PoolConfig, WorkerHandle, WoolFull};
+use wool_core::{Pool, PoolConfig, WoolFull, WorkerHandle};
 
 /// A busy leaf of roughly fixed duration, returning a checksum.
 fn leaf(iters: u64) -> u64 {

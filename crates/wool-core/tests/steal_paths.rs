@@ -65,14 +65,14 @@ fn linear_spawn_occupies_linear_descriptors() {
             });
         });
         let overflows = pool.last_report().unwrap().total.overflow_inlines;
-        assert_eq!(
-            out.load(Ordering::Relaxed),
-            (n as u64 * (n as u64 - 1)) / 2
-        );
+        assert_eq!(out.load(Ordering::Relaxed), (n as u64 * (n as u64 - 1)) / 2);
         overflows
     };
     assert_eq!(run(60), 0, "60 pending tasks fit in 64 descriptors");
-    assert!(run(200) > 0, "200 pending tasks must overflow 64 descriptors");
+    assert!(
+        run(200) > 0,
+        "200 pending tasks must overflow 64 descriptors"
+    );
 }
 
 /// `worker_index` and `num_workers` are coherent inside tasks.

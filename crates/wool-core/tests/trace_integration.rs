@@ -1,0 +1,151 @@
+//! End-to-end checks of the `trace` feature: a traced run produces a
+//! per-worker event log whose contents are consistent with the
+//! aggregate `Stats` counters the scheduler already maintains.
+//!
+//! Compiled only with `--features trace` (see `Cargo.toml`).
+
+use wool_core::wool_trace::EventKind;
+use wool_core::{Pool, PoolConfig, TaskSpecific, WoolFull, WorkerHandle};
+use wool_core::{StealLockBase, Strategy};
+
+fn fib<S: Strategy>(h: &mut WorkerHandle<S>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = h.fork(|h| fib(h, n - 1), |h| fib(h, n - 2));
+    a + b
+}
+
+/// Runs fib(n) on `workers` workers with tracing on and returns the
+/// pool for inspection.
+fn traced_fib_pool<S: Strategy>(workers: usize, n: u64, capacity: usize) -> Pool<S> {
+    let cfg = PoolConfig::with_workers(workers)
+        .instrument_trace(true)
+        .trace_capacity(capacity);
+    let mut pool: Pool<S> = Pool::with_config(cfg);
+    let r = pool.run(|h| fib(h, n));
+    let expected = {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..n {
+            (a, b) = (b, a + b);
+        }
+        a
+    };
+    assert_eq!(r, expected, "fib({n}) must still be correct under tracing");
+    pool
+}
+
+#[test]
+fn untraced_pool_has_no_trace() {
+    let mut pool: Pool<WoolFull> = Pool::new(2);
+    pool.run(|h| fib(h, 10));
+    assert!(pool.last_trace().is_none());
+}
+
+#[test]
+fn traced_run_matches_stats() {
+    let pool = traced_fib_pool::<WoolFull>(4, 20, 1 << 20);
+    let report = pool.last_report().unwrap().clone();
+    let trace = pool.last_trace().expect("tracing was configured");
+
+    assert_eq!(trace.workers.len(), 4);
+    assert_eq!(
+        trace.dropped(),
+        0,
+        "capacity must hold the whole run for exact count checks"
+    );
+
+    // Every counter with a 1:1 event has to agree exactly.
+    let t = &report.total;
+    assert_eq!(trace.count(EventKind::Spawn), t.spawns);
+    assert_eq!(
+        trace.count(EventKind::StealSuccess),
+        t.total_steals(),
+        "steal events must equal Stats.steals + Stats.leap_steals"
+    );
+    assert_eq!(trace.count(EventKind::JoinFastPrivate), t.inlined_private);
+    assert_eq!(trace.count(EventKind::JoinFastPublic), t.inlined_public);
+    assert_eq!(trace.count(EventKind::Backoff), t.backoffs);
+    assert_eq!(trace.count(EventKind::JoinSlow), t.stolen_joins);
+
+    // The analysis pass aggregates the same events.
+    let analysis = trace.analyze();
+    assert_eq!(analysis.steals, t.total_steals());
+    let edge_total: u64 = analysis.steal_graph.iter().map(|e| e.count).sum();
+    assert_eq!(edge_total, t.total_steals());
+}
+
+#[test]
+fn steal_events_point_at_real_workers() {
+    let pool = traced_fib_pool::<WoolFull>(3, 20, 1 << 20);
+    let trace = pool.last_trace().unwrap();
+    for w in &trace.workers {
+        for e in &w.events {
+            if matches!(
+                e.kind,
+                EventKind::StealAttempt | EventKind::StealSuccess | EventKind::StealFail
+            ) {
+                assert!((e.arg as usize) < 3, "victim index out of range");
+                assert_ne!(e.arg as usize, w.worker, "no self-steals");
+            }
+        }
+    }
+}
+
+#[test]
+fn wraparound_drops_are_reported() {
+    // A tiny ring cannot hold fib(20)'s ~10k spawn events.
+    let pool = traced_fib_pool::<WoolFull>(2, 20, 64);
+    let trace = pool.last_trace().unwrap();
+    assert!(trace.dropped() > 0);
+    // Retained events are still the newest, per worker, in seq order.
+    for w in &trace.workers {
+        assert!(w.events.len() <= 64);
+        assert!(w.events.windows(2).all(|p| p[0].seq < p[1].seq));
+    }
+}
+
+#[test]
+fn rings_reset_between_runs() {
+    let cfg = PoolConfig::with_workers(2)
+        .instrument_trace(true)
+        .trace_capacity(1 << 16);
+    let mut pool: Pool<WoolFull> = Pool::with_config(cfg);
+    pool.run(|h| fib(h, 18));
+    let first = pool.last_trace().unwrap().len();
+    assert!(first > 0);
+    pool.run(|h| fib(h, 10));
+    let second = pool.last_trace().unwrap();
+    // A much smaller run after a big one must not carry stale events.
+    assert!(second.len() < first);
+    assert_eq!(second.count(EventKind::Spawn), {
+        let t = pool.last_report().unwrap();
+        t.total.spawns
+    });
+}
+
+#[test]
+fn locked_strategies_trace_too() {
+    let pool = traced_fib_pool::<StealLockBase>(3, 20, 1 << 20);
+    let report = pool.last_report().unwrap().clone();
+    let trace = pool.last_trace().unwrap();
+    assert_eq!(
+        trace.count(EventKind::StealSuccess),
+        report.total.total_steals()
+    );
+}
+
+#[test]
+fn chrome_export_of_real_run_parses() {
+    let pool = traced_fib_pool::<TaskSpecific>(2, 15, 1 << 18);
+    let trace = pool.last_trace().unwrap();
+    let doc = trace.to_chrome_json();
+    let text = doc.compact();
+    let back =
+        wool_core::wool_trace::minijson::parse(&text).expect("exporter must emit valid JSON");
+    let events = back
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+}

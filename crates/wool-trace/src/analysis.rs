@@ -1,0 +1,379 @@
+//! Offline analysis of a merged [`Trace`]: the steal graph
+//! (thief→victim edge weights), steal-interval histograms, and
+//! per-worker utilization timelines.
+
+use std::collections::BTreeMap;
+
+use minijson::Json;
+
+use crate::{EventKind, Trace};
+
+/// One thief→victim edge of the steal graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEdge {
+    /// The stealing worker.
+    pub thief: usize,
+    /// The worker stolen from.
+    pub victim: usize,
+    /// Successful steals along this edge.
+    pub count: u64,
+}
+
+/// Utilization summary of one worker over the traced interval.
+#[derive(Debug, Clone)]
+pub struct WorkerUtilization {
+    /// Worker index.
+    pub worker: usize,
+    /// Fraction of the traced interval spent outside idle spans
+    /// (0.0–1.0). 1.0 when the worker never went idle.
+    pub busy_fraction: f64,
+    /// Busy fraction per timeline bucket (equal slices of the traced
+    /// interval), for plotting.
+    pub timeline: Vec<f64>,
+}
+
+/// The result of [`analyze`].
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Steal-graph edges sorted by descending count.
+    pub steal_graph: Vec<StealEdge>,
+    /// Total successful steals in the trace (sum of edge counts).
+    pub steals: u64,
+    /// Total steal attempts.
+    pub attempts: u64,
+    /// Attempts that found nothing.
+    pub failed: u64,
+    /// Back-off events.
+    pub backoffs: u64,
+    /// Publish-request (trip-wire) events.
+    pub publish_requests: u64,
+    /// Leapfrog entries.
+    pub leapfrogs: u64,
+    /// Histogram of intervals between consecutive successful steals by
+    /// the same thief: bucket `i` counts intervals in
+    /// `[2^i, 2^(i+1))` cycles (bucket 0 also holds 0-cycle intervals).
+    pub steal_interval_hist: Vec<u64>,
+    /// Per-worker utilization, indexed by worker.
+    pub utilization: Vec<WorkerUtilization>,
+}
+
+/// Number of timeline buckets in [`WorkerUtilization::timeline`].
+pub const TIMELINE_BUCKETS: usize = 32;
+
+/// Runs the full analysis pass over a merged trace.
+pub fn analyze(trace: &Trace) -> Analysis {
+    let mut edges: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut attempts = 0;
+    let mut failed = 0;
+    let mut backoffs = 0;
+    let mut publish_requests = 0;
+    let mut leapfrogs = 0;
+    let mut hist = vec![0u64; 64];
+    let mut max_bucket = 0;
+
+    for w in &trace.workers {
+        let mut last_steal: Option<u64> = None;
+        for e in &w.events {
+            match e.kind {
+                EventKind::StealAttempt => attempts += 1,
+                EventKind::StealFail => failed += 1,
+                EventKind::Backoff => backoffs += 1,
+                EventKind::PublishRequest => publish_requests += 1,
+                EventKind::Leapfrog => leapfrogs += 1,
+                EventKind::StealSuccess => {
+                    *edges.entry((w.worker, e.arg as usize)).or_insert(0) += 1;
+                    if let Some(prev) = last_steal {
+                        let dt = e.ts.saturating_sub(prev);
+                        let b = (64 - dt.leading_zeros()).saturating_sub(1) as usize;
+                        hist[b] += 1;
+                        max_bucket = max_bucket.max(b);
+                    }
+                    last_steal = Some(e.ts);
+                }
+                _ => {}
+            }
+        }
+    }
+    hist.truncate(max_bucket + 1);
+
+    let mut steal_graph: Vec<StealEdge> = edges
+        .into_iter()
+        .map(|((thief, victim), count)| StealEdge {
+            thief,
+            victim,
+            count,
+        })
+        .collect();
+    steal_graph.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.thief.cmp(&b.thief))
+            .then(a.victim.cmp(&b.victim))
+    });
+    let steals = steal_graph.iter().map(|e| e.count).sum();
+
+    Analysis {
+        steal_graph,
+        steals,
+        attempts,
+        failed,
+        backoffs,
+        publish_requests,
+        leapfrogs,
+        steal_interval_hist: hist,
+        utilization: utilization(trace),
+    }
+}
+
+/// Computes per-worker busy fractions and bucketed timelines from
+/// idle/park → unpark/steal-success spans.
+fn utilization(trace: &Trace) -> Vec<WorkerUtilization> {
+    let (Some(start), Some(end)) = (
+        trace.epoch(),
+        trace
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter().map(|e| e.ts))
+            .max(),
+    ) else {
+        return Vec::new();
+    };
+    let span = (end - start).max(1) as f64;
+
+    trace
+        .workers
+        .iter()
+        .map(|w| {
+            // Collect this worker's idle spans.
+            let mut spans: Vec<(u64, u64)> = Vec::new();
+            let mut idle_since: Option<u64> = None;
+            for e in &w.events {
+                match e.kind {
+                    EventKind::Idle | EventKind::Park => {
+                        idle_since.get_or_insert(e.ts);
+                    }
+                    EventKind::Unpark | EventKind::StealSuccess => {
+                        if let Some(s) = idle_since.take() {
+                            spans.push((s, e.ts));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = idle_since {
+                spans.push((s, end));
+            }
+
+            let idle_total: u64 = spans.iter().map(|(a, b)| b - a).sum();
+            let busy_fraction = (1.0 - idle_total as f64 / span).clamp(0.0, 1.0);
+
+            // Bucketed timeline: subtract each idle span's overlap with
+            // each bucket.
+            let bucket_w = span / TIMELINE_BUCKETS as f64;
+            let mut timeline = vec![1.0f64; TIMELINE_BUCKETS];
+            for &(a, b) in &spans {
+                let (a, b) = ((a - start) as f64, (b - start) as f64);
+                let first = ((a / bucket_w) as usize).min(TIMELINE_BUCKETS - 1);
+                let last = ((b / bucket_w) as usize).min(TIMELINE_BUCKETS - 1);
+                for (i, slot) in timeline.iter_mut().enumerate().take(last + 1).skip(first) {
+                    let lo = (i as f64) * bucket_w;
+                    let hi = lo + bucket_w;
+                    let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                    *slot = (*slot - overlap / bucket_w).clamp(0.0, 1.0);
+                }
+            }
+
+            WorkerUtilization {
+                worker: w.worker,
+                busy_fraction,
+                timeline,
+            }
+        })
+        .collect()
+}
+
+impl Analysis {
+    /// Failed attempts as a fraction of all attempts (0 when none).
+    pub fn failed_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.attempts as f64
+        }
+    }
+
+    /// Back-offs as a fraction of all attempts — the quantity the paper
+    /// reports as "considerably less than 1%" on its workloads.
+    pub fn backoff_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.backoffs as f64 / self.attempts as f64
+        }
+    }
+
+    /// JSON form of the analysis (steal graph, ratios, histogram,
+    /// utilization) for embedding in reports.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "steal_graph".into(),
+                Json::Arr(
+                    self.steal_graph
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("thief".into(), Json::Num(e.thief as f64)),
+                                ("victim".into(), Json::Num(e.victim as f64)),
+                                ("count".into(), Json::Num(e.count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("steals".into(), Json::Num(self.steals as f64)),
+            ("attempts".into(), Json::Num(self.attempts as f64)),
+            ("failed".into(), Json::Num(self.failed as f64)),
+            ("backoffs".into(), Json::Num(self.backoffs as f64)),
+            (
+                "publish_requests".into(),
+                Json::Num(self.publish_requests as f64),
+            ),
+            ("leapfrogs".into(), Json::Num(self.leapfrogs as f64)),
+            ("failed_ratio".into(), Json::Num(self.failed_ratio())),
+            ("backoff_ratio".into(), Json::Num(self.backoff_ratio())),
+            (
+                "steal_interval_hist".into(),
+                Json::Arr(
+                    self.steal_interval_hist
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "utilization".into(),
+                Json::Arr(
+                    self.utilization
+                        .iter()
+                        .map(|u| {
+                            Json::Obj(vec![
+                                ("worker".into(), Json::Num(u.worker as f64)),
+                                ("busy_fraction".into(), Json::Num(u.busy_fraction)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRing;
+
+    #[test]
+    fn steal_graph_edges_and_totals() {
+        let mut t1 = TraceRing::new(64);
+        t1.set_enabled(true);
+        for _ in 0..3 {
+            t1.record(EventKind::StealAttempt, 10, 0);
+            t1.record(EventKind::StealSuccess, 20, 0);
+        }
+        t1.record(EventKind::StealAttempt, 30, 2);
+        t1.record(EventKind::StealFail, 31, 2);
+        let mut t2 = TraceRing::new(64);
+        t2.set_enabled(true);
+        t2.record(EventKind::StealAttempt, 15, 0);
+        t2.record(EventKind::StealSuccess, 25, 0);
+        t2.record(EventKind::Backoff, 40, 1);
+
+        let trace = Trace::new(vec![t1.snapshot(1), t2.snapshot(2)], 1.0);
+        let a = trace.analyze();
+        assert_eq!(a.steals, 4);
+        assert_eq!(a.attempts, 5);
+        assert_eq!(a.failed, 1);
+        assert_eq!(a.backoffs, 1);
+        assert_eq!(
+            a.steal_graph[0],
+            StealEdge {
+                thief: 1,
+                victim: 0,
+                count: 3
+            }
+        );
+        assert_eq!(
+            a.steal_graph[1],
+            StealEdge {
+                thief: 2,
+                victim: 0,
+                count: 1
+            }
+        );
+        assert!((a.failed_ratio() - 0.2).abs() < 1e-12);
+        assert!((a.backoff_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_histogram_buckets_log2() {
+        let mut r = TraceRing::new(64);
+        r.set_enabled(true);
+        // Steals at t = 0, 1, 5, 1029: intervals 1 (bucket 0),
+        // 4 (bucket 2), 1024 (bucket 10).
+        for ts in [0u64, 1, 5, 1029] {
+            r.record(EventKind::StealSuccess, ts, 0);
+        }
+        let a = Trace::new(vec![r.snapshot(1)], 1.0).analyze();
+        assert_eq!(a.steal_interval_hist.len(), 11);
+        assert_eq!(a.steal_interval_hist[0], 1);
+        assert_eq!(a.steal_interval_hist[2], 1);
+        assert_eq!(a.steal_interval_hist[10], 1);
+    }
+
+    #[test]
+    fn utilization_counts_idle_spans() {
+        let mut r = TraceRing::new(64);
+        r.set_enabled(true);
+        r.record(EventKind::Spawn, 0, 1);
+        r.record(EventKind::Idle, 100, 0);
+        r.record(EventKind::Unpark, 300, 0);
+        r.record(EventKind::Spawn, 400, 1);
+        // Span 0..400; idle 100..300 → busy 200/400 = 0.5.
+        let a = Trace::new(vec![r.snapshot(0)], 1.0).analyze();
+        assert_eq!(a.utilization.len(), 1);
+        assert!((a.utilization[0].busy_fraction - 0.5).abs() < 1e-9);
+        let tl = &a.utilization[0].timeline;
+        assert_eq!(tl.len(), TIMELINE_BUCKETS);
+        // Buckets fully inside the idle span are 0.
+        assert!(tl[TIMELINE_BUCKETS / 2].abs() < 1e-9);
+        assert!((tl[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trailing_idle_span_counts_to_trace_end() {
+        let mut r = TraceRing::new(16);
+        r.set_enabled(true);
+        r.record(EventKind::Spawn, 0, 1);
+        r.record(EventKind::Idle, 100, 0);
+        let mut other = TraceRing::new(16);
+        other.set_enabled(true);
+        other.record(EventKind::Spawn, 200, 1);
+        // Trace span 0..200, worker 0 idle 100..200 → busy 0.5.
+        let a = Trace::new(vec![r.snapshot(0), other.snapshot(1)], 1.0).analyze();
+        assert!((a.utilization[0].busy_fraction - 0.5).abs() < 1e-9);
+        assert!((a.utilization[1].busy_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_json_is_valid() {
+        let mut r = TraceRing::new(16);
+        r.set_enabled(true);
+        r.record(EventKind::StealAttempt, 1, 0);
+        r.record(EventKind::StealSuccess, 2, 0);
+        let a = Trace::new(vec![r.snapshot(1)], 1.0).analyze();
+        let parsed = minijson::parse(&a.to_json().pretty()).unwrap();
+        assert_eq!(parsed.get("steals").unwrap().as_u64(), Some(1));
+    }
+}

@@ -475,10 +475,7 @@ mod tests {
                     v += ld[i * size + k] * ld[j * size + k];
                 }
                 let want = a_dense[i * size + j];
-                assert!(
-                    (v - want).abs() < 1e-9,
-                    "LL^T({i},{j}) = {v}, A = {want}"
-                );
+                assert!((v - want).abs() < 1e-9, "LL^T({i},{j}) = {v}, A = {want}");
             }
         }
     }

@@ -89,7 +89,15 @@ fn branch<C: Fork>(
     let item = inst.items[k];
     if spawn_depth == 0 {
         if item.weight <= cap {
-            branch(c, inst, best, k + 1, cap - item.weight, value + item.value, 0);
+            branch(
+                c,
+                inst,
+                best,
+                k + 1,
+                cap - item.weight,
+                value + item.value,
+                0,
+            );
         }
         branch(c, inst, best, k + 1, cap, value, 0);
         return;
@@ -147,9 +155,18 @@ mod tests {
     fn tiny_hand_instance() {
         // values/weights chosen so greedy-by-density is suboptimal.
         let items = vec![
-            Item { value: 60, weight: 10 },
-            Item { value: 100, weight: 20 },
-            Item { value: 120, weight: 30 },
+            Item {
+                value: 60,
+                weight: 10,
+            },
+            Item {
+                value: 100,
+                weight: 20,
+            },
+            Item {
+                value: 120,
+                weight: 30,
+            },
         ];
         let inst = Instance {
             items,

@@ -107,9 +107,7 @@ mod tests {
     #[test]
     fn par_reduce_sums() {
         let mut e = SerialExecutor::new();
-        let total = e.run(|c| {
-            par_reduce(c, 0, 1000, 16, 0u64, &|_c, i| i as u64, &|a, b| a + b)
-        });
+        let total = e.run(|c| par_reduce(c, 0, 1000, 16, 0u64, &|_c, i| i as u64, &|a, b| a + b));
         assert_eq!(total, 999 * 1000 / 2);
     }
 

@@ -70,7 +70,10 @@ impl WorkloadSpec {
     /// Returns a copy with repetitions scaled by `factor` (at least 1).
     pub fn scale_reps(&self, factor: f64) -> WorkloadSpec {
         let reps = ((self.reps as f64 * factor).round() as u64).max(1);
-        WorkloadSpec { reps, ..self.clone() }
+        WorkloadSpec {
+            reps,
+            ..self.clone()
+        }
     }
 
     /// Builds the runnable job (pre-generating input data so that setup
@@ -170,35 +173,48 @@ pub fn all_table1_specs() -> Vec<WorkloadSpec> {
         (2000, 8000, 64),
         (4000, 16000, 16),
     ] {
-        v.push(WorkloadSpec { kind: Cholesky, p1, p2, reps });
+        v.push(WorkloadSpec {
+            kind: Cholesky,
+            p1,
+            p2,
+            reps,
+        });
     }
     // mm: rows x reps
     for (p1, reps) in [(64, 16384), (128, 2048), (256, 256), (512, 32)] {
-        v.push(WorkloadSpec { kind: Mm, p1, p2: 0, reps });
+        v.push(WorkloadSpec {
+            kind: Mm,
+            p1,
+            p2: 0,
+            reps,
+        });
     }
     // ssf: n x reps
     for (p1, reps) in [(12, 16384), (13, 8192), (14, 4096), (15, 2048), (16, 1024)] {
-        v.push(WorkloadSpec { kind: Ssf, p1, p2: 0, reps });
+        v.push(WorkloadSpec {
+            kind: Ssf,
+            p1,
+            p2: 0,
+            reps,
+        });
     }
     // stress leaf 256 iterations: height x reps
-    for (p1, reps) in [
-        (7, 131072),
-        (8, 65536),
-        (9, 32768),
-        (10, 16384),
-        (11, 8192),
-    ] {
-        v.push(WorkloadSpec { kind: Stress, p1, p2: 256, reps });
+    for (p1, reps) in [(7, 131072), (8, 65536), (9, 32768), (10, 16384), (11, 8192)] {
+        v.push(WorkloadSpec {
+            kind: Stress,
+            p1,
+            p2: 256,
+            reps,
+        });
     }
     // stress leaf 4096 iterations: height x reps
-    for (p1, reps) in [
-        (3, 131072),
-        (4, 65536),
-        (5, 32768),
-        (6, 16384),
-        (7, 8192),
-    ] {
-        v.push(WorkloadSpec { kind: Stress, p1, p2: 4096, reps });
+    for (p1, reps) in [(3, 131072), (4, 65536), (5, 32768), (6, 16384), (7, 8192)] {
+        v.push(WorkloadSpec {
+            kind: Stress,
+            p1,
+            p2: 4096,
+            reps,
+        });
     }
     v
 }
@@ -206,8 +222,8 @@ pub fn all_table1_specs() -> Vec<WorkloadSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ws_baseline::SerialExecutor;
     use wool_core::Executor;
+    use ws_baseline::SerialExecutor;
 
     #[test]
     fn table1_has_24_rows() {
@@ -236,11 +252,36 @@ mod tests {
     fn jobs_run_and_agree_across_executors() {
         // Tiny versions of each kind: serial and wool must agree.
         let tiny = [
-            WorkloadSpec { kind: WorkloadKind::Fib, p1: 15, p2: 0, reps: 2 },
-            WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 64, p2: 200, reps: 2 },
-            WorkloadSpec { kind: WorkloadKind::Mm, p1: 24, p2: 0, reps: 2 },
-            WorkloadSpec { kind: WorkloadKind::Ssf, p1: 9, p2: 0, reps: 2 },
-            WorkloadSpec { kind: WorkloadKind::Stress, p1: 4, p2: 32, reps: 3 },
+            WorkloadSpec {
+                kind: WorkloadKind::Fib,
+                p1: 15,
+                p2: 0,
+                reps: 2,
+            },
+            WorkloadSpec {
+                kind: WorkloadKind::Cholesky,
+                p1: 64,
+                p2: 200,
+                reps: 2,
+            },
+            WorkloadSpec {
+                kind: WorkloadKind::Mm,
+                p1: 24,
+                p2: 0,
+                reps: 2,
+            },
+            WorkloadSpec {
+                kind: WorkloadKind::Ssf,
+                p1: 9,
+                p2: 0,
+                reps: 2,
+            },
+            WorkloadSpec {
+                kind: WorkloadKind::Stress,
+                p1: 4,
+                p2: 32,
+                reps: 3,
+            },
         ];
         let mut serial = SerialExecutor::new();
         let mut pool: wool_core::Pool = wool_core::Pool::new(2);

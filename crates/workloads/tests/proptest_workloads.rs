@@ -1,12 +1,34 @@
-//! Property-based correctness tests for the workload kernels: each
+//! Property-style correctness tests for the workload kernels: each
 //! parallel kernel must agree with an independently written naive
-//! reference on randomized inputs (sizes, seeds, sparsity).
+//! reference on randomized inputs (sizes, seeds, sparsity). Inputs are
+//! drawn from a seeded xorshift64* generator so runs are deterministic
+//! without an external property testing crate.
 
-use proptest::prelude::*;
 use workloads::cholesky::{cholesky, dense_cholesky, spd_random, QTree};
 use workloads::mm::{mm_par, mm_serial, Matrix};
 use workloads::ssf::{fib_string, ssf_par, ssf_serial};
 use ws_baseline::SerialExecutor;
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
 
 /// Naive O(n^3) triple-loop multiply, written independently of mm.rs.
 fn naive_mm(n: usize, a: &Matrix, b: &Matrix) -> Vec<f64> {
@@ -39,13 +61,14 @@ fn naive_best(s: &[u8], i: usize) -> usize {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// mm matches the naive reference on arbitrary (small) sizes,
-    /// including non-powers-of-two.
-    #[test]
-    fn mm_matches_naive(n in 1usize..40, seed in any::<u64>()) {
+/// mm matches the naive reference on arbitrary (small) sizes,
+/// including non-powers-of-two.
+#[test]
+fn mm_matches_naive() {
+    let mut rng = Rng::new(0x3A7);
+    for _ in 0..24 {
+        let n = rng.range(1, 40);
+        let seed = rng.next();
         let a = Matrix::random(n, seed);
         let b = Matrix::random(n, seed ^ 0xABCD);
         let want = naive_mm(n, &a, &b);
@@ -53,40 +76,52 @@ proptest! {
         let got = e.run(|c| mm_par(c, &a, &b));
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((got.at(i, j) - want[i * n + j]).abs() < 1e-9);
+                assert!((got.at(i, j) - want[i * n + j]).abs() < 1e-9);
             }
         }
         // And the plain serial path agrees too.
         let s = mm_serial(&a, &b);
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((s.at(i, j) - want[i * n + j]).abs() < 1e-9);
+                assert!((s.at(i, j) - want[i * n + j]).abs() < 1e-9);
             }
         }
     }
+}
 
-    /// ssf matches a naive scan on arbitrary byte strings (not only
-    /// Fibonacci strings), at arbitrary grain sizes.
-    #[test]
-    fn ssf_matches_naive(bytes in prop::collection::vec(0u8..4, 1..80), grain in 1usize..16) {
+/// ssf matches a naive scan on arbitrary byte strings (not only
+/// Fibonacci strings), at arbitrary grain sizes.
+#[test]
+fn ssf_matches_naive() {
+    let mut rng = Rng::new(0x55F);
+    for _ in 0..24 {
+        let len = rng.range(1, 80);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() % 4) as u8).collect();
+        let grain = rng.range(1, 16);
         let mut e = SerialExecutor::new();
         let got = e.run(|c| ssf_par(c, &bytes, grain));
         let serial = ssf_serial(&bytes);
-        prop_assert_eq!(&got, &serial);
+        assert_eq!(got, serial);
         for i in 0..bytes.len() {
-            prop_assert_eq!(got.max[i], naive_best(&bytes, i), "position {}", i);
+            assert_eq!(got.max[i], naive_best(&bytes, i), "position {i}");
             // The recorded position must actually achieve the length.
             if got.max[i] > 0 {
                 let (p, m) = (got.pos[i], got.max[i]);
-                prop_assert!(bytes[i..i + m] == bytes[p..p + m]);
+                assert!(bytes[i..i + m] == bytes[p..p + m]);
             }
         }
     }
+}
 
-    /// Quadtree Cholesky matches the dense reference for random sparse
-    /// SPD matrices of random size and sparsity.
-    #[test]
-    fn cholesky_matches_dense(n in 2usize..80, nnz in 0usize..300, seed in any::<u64>()) {
+/// Quadtree Cholesky matches the dense reference for random sparse
+/// SPD matrices of random size and sparsity.
+#[test]
+fn cholesky_matches_dense() {
+    let mut rng = Rng::new(0xC4013);
+    for _ in 0..24 {
+        let n = rng.range(2, 80);
+        let nnz = rng.range(0, 300);
+        let seed = rng.next();
         let m = spd_random(n, nnz, seed);
         let size = m.size;
         let mut dense = m.tree.to_dense(size);
@@ -96,25 +131,33 @@ proptest! {
         let l = e.run(move |c| cholesky(c, size, m.tree));
         let got = l.to_dense(size);
         for (x, y) in got.iter().zip(&dense) {
-            prop_assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
         }
     }
+}
 
-    /// Quadtree dense round-trip is exact for any generated matrix.
-    #[test]
-    fn quadtree_roundtrip(n in 2usize..100, nnz in 0usize..200, seed in any::<u64>()) {
+/// Quadtree dense round-trip is exact for any generated matrix.
+#[test]
+fn quadtree_roundtrip() {
+    let mut rng = Rng::new(0x40AD);
+    for _ in 0..24 {
+        let n = rng.range(2, 100);
+        let nnz = rng.range(0, 200);
+        let seed = rng.next();
         let m = spd_random(n, nnz, seed);
         let d = m.tree.to_dense(m.size);
         let t = QTree::from_dense(m.size, 0, 0, m.size, &d).unwrap();
-        prop_assert_eq!(d, t.to_dense(m.size));
+        assert_eq!(d, t.to_dense(m.size));
     }
+}
 
-    /// Fibonacci strings satisfy their defining recurrence at every n.
-    #[test]
-    fn fib_string_recurrence(n in 2u32..18) {
+/// Fibonacci strings satisfy their defining recurrence at every n.
+#[test]
+fn fib_string_recurrence() {
+    for n in 2u32..18 {
         let sn = fib_string(n);
         let mut cat = fib_string(n - 1);
         cat.extend(fib_string(n - 2));
-        prop_assert_eq!(sn, cat);
+        assert_eq!(sn, cat);
     }
 }

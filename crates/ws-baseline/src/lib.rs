@@ -172,10 +172,7 @@ mod tests {
         let mut p = tbb_like(1);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             p.run(|c| {
-                let (_, _): ((), u64) = c.fork(
-                    |_| panic!("call branch"),
-                    |_| 42u64,
-                );
+                let (_, _): ((), u64) = c.fork(|_| panic!("call branch"), |_| 42u64);
             })
         }));
         assert!(r.is_err());

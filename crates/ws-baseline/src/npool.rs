@@ -24,8 +24,7 @@ use wool_core::{Executor, Fork, Job, Stats};
 
 use crate::node::{
     alloc_node, is_done, take_body_and_free, take_panic_and_free, take_result_and_free,
-    ClosureBody, Fate, ForEachBody, NodeBody, TaskHeader, DONE, DONE_PANIC, PENDING,
-    STOLEN_BASE,
+    ClosureBody, Fate, ForEachBody, NodeBody, TaskHeader, DONE, DONE_PANIC, PENDING, STOLEN_BASE,
 };
 use crate::queues::NodeQueue;
 

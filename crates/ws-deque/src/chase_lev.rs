@@ -29,7 +29,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::Steal;
 
@@ -263,7 +263,7 @@ impl<T> ChaseLev<T> {
         // Release so thieves that Acquire-load the new pointer see the
         // copied elements.
         self.buf.store(new_ptr, Ordering::Release);
-        self.retired.lock().push(old);
+        self.retired.lock().unwrap().push(old);
     }
 }
 
@@ -281,7 +281,7 @@ impl<T> Drop for ChaseLev<T> {
                 i += 1;
             }
             drop(Box::from_raw(buf));
-            for old in self.retired.get_mut().drain(..) {
+            for old in self.retired.get_mut().unwrap().drain(..) {
                 drop(Box::from_raw(old));
             }
         }
@@ -488,40 +488,38 @@ mod tests {
         assert_eq!(kept_sum + stolen_sum.load(Ordering::Relaxed), expect_sum);
     }
 
-    /// Differential test against crossbeam-deque on a random operation
-    /// sequence executed single-threaded (both must agree exactly).
+    /// Differential test against a `VecDeque` reference model on a
+    /// pseudo-random operation sequence executed single-threaded:
+    /// with no concurrency, push/pop/steal must behave exactly like
+    /// back-insert/back-remove/front-remove on the model.
     #[test]
-    fn differential_vs_crossbeam_single_thread() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    fn differential_vs_model_single_thread() {
+        use std::collections::VecDeque;
+        let mut x = 0xC0FFEEu64 | 1;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        };
         let ours = ChaseLev::new();
         let mut o = owner();
-        let theirs = crossbeam_deque::Worker::new_lifo();
-        let their_stealer = theirs.stealer();
+        let mut model: VecDeque<u64> = VecDeque::new();
 
         let mut next = 0u64;
         for _ in 0..10_000 {
-            match rng.random_range(0..3) {
+            match rng() % 3 {
                 0 => {
                     ours.push(next, &mut o);
-                    theirs.push(next);
+                    model.push_back(next);
                     next += 1;
                 }
                 1 => {
-                    let a = ours.pop(&mut o);
-                    let b = theirs.pop();
-                    assert_eq!(a, b);
+                    assert_eq!(ours.pop(&mut o), model.pop_back());
                 }
                 _ => {
-                    let a = ours.steal().success();
-                    let b = loop {
-                        match their_stealer.steal() {
-                            crossbeam_deque::Steal::Success(v) => break Some(v),
-                            crossbeam_deque::Steal::Empty => break None,
-                            crossbeam_deque::Steal::Retry => continue,
-                        }
-                    };
-                    assert_eq!(a, b);
+                    // Single-threaded: Retry is impossible.
+                    assert_eq!(ours.steal().success(), model.pop_front());
                 }
             }
         }

@@ -124,12 +124,10 @@ impl<T: Copy> IdempotentLifo<T> {
         // SAFETY: index s-1 was fully written before the Acquire-read
         // anchor value was published.
         let v = unsafe { (*self.buf[(s - 1) as usize].get()).assume_init() };
-        match self.anchor.compare_exchange(
-            a,
-            pack(s - 1, g),
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .anchor
+            .compare_exchange(a, pack(s - 1, g), Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => Steal::Success(v),
             Err(_) => Steal::Retry,
         }

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::Steal;
 
@@ -36,8 +36,11 @@ pub enum StealProtocol {
 
 impl StealProtocol {
     /// All protocols, in the order Figure 4 plots them.
-    pub const ALL: [StealProtocol; 3] =
-        [StealProtocol::Base, StealProtocol::Peek, StealProtocol::Trylock];
+    pub const ALL: [StealProtocol; 3] = [
+        StealProtocol::Base,
+        StealProtocol::Peek,
+        StealProtocol::Trylock,
+    ];
 
     /// Human-readable name matching the paper's legend.
     pub fn name(self) -> &'static str {
@@ -78,14 +81,14 @@ impl<T> LockedDeque<T> {
 
     /// Owner: push a task (takes the lock).
     pub fn push(&self, v: T) {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         q.push_back(v);
         self.len_hint.store(q.len(), Ordering::Relaxed);
     }
 
     /// Owner: pop the most recently pushed task (takes the lock).
     pub fn pop(&self) -> Option<T> {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         let v = q.pop_back();
         self.len_hint.store(q.len(), Ordering::Relaxed);
         v
@@ -117,7 +120,7 @@ impl<T> LockedDeque<T> {
                     return Steal::Empty;
                 }
                 match self.inner.try_lock() {
-                    Some(mut q) => {
+                    Ok(mut q) => {
                         let v = q.pop_front();
                         self.len_hint.store(q.len(), Ordering::Relaxed);
                         match v {
@@ -125,14 +128,14 @@ impl<T> LockedDeque<T> {
                             None => Steal::Empty,
                         }
                     }
-                    None => Steal::Retry,
+                    Err(_) => Steal::Retry,
                 }
             }
         }
     }
 
     fn steal_locked(&self) -> Steal<T> {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         let v = q.pop_front();
         self.len_hint.store(q.len(), Ordering::Relaxed);
         match v {
@@ -164,7 +167,7 @@ mod tests {
     fn peek_avoids_locking_empty() {
         let d: LockedDeque<u32> = LockedDeque::new();
         // Hold the lock; peek must still report Empty without blocking.
-        let _guard = d.inner.lock();
+        let _guard = d.inner.lock().unwrap();
         assert!(d.steal(StealProtocol::Peek).is_empty());
         assert!(d.steal(StealProtocol::Trylock).is_empty());
     }
@@ -173,7 +176,7 @@ mod tests {
     fn trylock_retries_on_contention() {
         let d = LockedDeque::new();
         d.push(7u32);
-        let _guard = d.inner.lock();
+        let _guard = d.inner.lock().unwrap();
         assert!(d.steal(StealProtocol::Trylock).is_retry());
     }
 

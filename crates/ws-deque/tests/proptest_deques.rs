@@ -1,9 +1,29 @@
-//! Property-based and stress tests for the deque substrates.
+//! Property-style and stress tests for the deque substrates.
+//!
+//! Randomized cases are generated with a seeded xorshift64* generator
+//! (deterministic, dependency-free) instead of an external property
+//! testing crate: each test replays many random operation sequences
+//! against a `VecDeque` reference model.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
 use ws_deque::chase_lev::OwnerToken;
 use ws_deque::{ChaseLev, LockedDeque, StealProtocol};
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
 
 /// Operations on a deque, executed single-threaded against a model.
 #[derive(Debug, Clone, Copy)]
@@ -13,21 +33,23 @@ enum Op {
     Steal,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            any::<u16>().prop_map(Op::Push),
-            Just(Op::Pop),
-            Just(Op::Steal),
-        ],
-        0..400,
-    )
+fn random_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = (rng.next() % 400) as usize;
+    (0..len)
+        .map(|_| match rng.next() % 3 {
+            0 => Op::Push(rng.next() as u16),
+            1 => Op::Pop,
+            _ => Op::Steal,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Chase–Lev agrees with a VecDeque model on any sequential history.
-    #[test]
-    fn chase_lev_matches_model(ops in ops()) {
+/// Chase–Lev agrees with a VecDeque model on any sequential history.
+#[test]
+fn chase_lev_matches_model() {
+    let mut rng = Rng::new(0xD5EA5E);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng);
         let d = ChaseLev::new();
         // SAFETY: single-threaded test is the unique owner.
         let mut tok = unsafe { OwnerToken::new() };
@@ -39,10 +61,10 @@ proptest! {
                     model.push_back(v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(d.pop(&mut tok), model.pop_back());
+                    assert_eq!(d.pop(&mut tok), model.pop_back());
                 }
                 Op::Steal => {
-                    prop_assert_eq!(d.steal().success(), model.pop_front());
+                    assert_eq!(d.steal().success(), model.pop_front());
                 }
             }
         }
@@ -52,13 +74,17 @@ proptest! {
             rest.push(v);
         }
         rest.reverse();
-        prop_assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
+        assert_eq!(rest, model.into_iter().collect::<Vec<_>>());
     }
+}
 
-    /// The locked deque agrees with the same model under any protocol.
-    #[test]
-    fn locked_matches_model(ops in ops(), proto in 0usize..3) {
-        let proto = StealProtocol::ALL[proto];
+/// The locked deque agrees with the same model under any protocol.
+#[test]
+fn locked_matches_model() {
+    let mut rng = Rng::new(0x10CED);
+    for round in 0..64 {
+        let proto = StealProtocol::ALL[round % 3];
+        let ops = random_ops(&mut rng);
         let d = LockedDeque::new();
         let mut model: VecDeque<u16> = VecDeque::new();
         for op in ops {
@@ -68,31 +94,46 @@ proptest! {
                     model.push_back(v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(d.pop(), model.pop_back());
+                    assert_eq!(d.pop(), model.pop_back());
                 }
                 Op::Steal => {
                     // Uncontended: never Retry.
-                    prop_assert_eq!(d.steal(proto).success(), model.pop_front());
+                    assert_eq!(d.steal(proto).success(), model.pop_front());
                 }
             }
         }
-        prop_assert_eq!(d.len_hint(), model.len());
+        assert_eq!(d.len_hint(), model.len());
     }
+}
 
-    /// Length hints never exceed the true maximum across a history.
-    #[test]
-    fn chase_lev_len_hint_bounded(ops in ops()) {
+/// Length hints never drift from the true size across a history.
+#[test]
+fn chase_lev_len_hint_bounded() {
+    let mut rng = Rng::new(0xB0B);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng);
         let d = ChaseLev::new();
         // SAFETY: unique owner.
         let mut tok = unsafe { OwnerToken::new() };
         let mut live = 0usize;
         for op in ops {
             match op {
-                Op::Push(v) => { d.push(v, &mut tok); live += 1; }
-                Op::Pop => { if d.pop(&mut tok).is_some() { live -= 1; } }
-                Op::Steal => { if d.steal().success().is_some() { live -= 1; } }
+                Op::Push(v) => {
+                    d.push(v, &mut tok);
+                    live += 1;
+                }
+                Op::Pop => {
+                    if d.pop(&mut tok).is_some() {
+                        live -= 1;
+                    }
+                }
+                Op::Steal => {
+                    if d.steal().success().is_some() {
+                        live -= 1;
+                    }
+                }
             }
-            prop_assert_eq!(d.len_hint(), live);
+            assert_eq!(d.len_hint(), live);
         }
     }
 }

@@ -62,7 +62,10 @@ fn main() {
             print!(" {c:>9}  ");
         }
     }
-    println!("\n  {:<10} {serial_ms:>9.1}ms  (plain recursion, no tasks)", "serial");
+    println!(
+        "\n  {:<10} {serial_ms:>9.1}ms  (plain recursion, no tasks)",
+        "serial"
+    );
 
     let mut wool: Pool = Pool::new(workers);
     row("wool", &mut wool, n, &cutoffs, expect);

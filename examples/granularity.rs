@@ -20,11 +20,36 @@ fn main() {
         .unwrap_or(4);
 
     let specs = [
-        WorkloadSpec { kind: WorkloadKind::Fib, p1: 27, p2: 0, reps: 1 },
-        WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 250, p2: 1000, reps: 8 },
-        WorkloadSpec { kind: WorkloadKind::Mm, p1: 64, p2: 0, reps: 32 },
-        WorkloadSpec { kind: WorkloadKind::Ssf, p1: 12, p2: 0, reps: 16 },
-        WorkloadSpec { kind: WorkloadKind::Stress, p1: 8, p2: 256, reps: 256 },
+        WorkloadSpec {
+            kind: WorkloadKind::Fib,
+            p1: 27,
+            p2: 0,
+            reps: 1,
+        },
+        WorkloadSpec {
+            kind: WorkloadKind::Cholesky,
+            p1: 250,
+            p2: 1000,
+            reps: 8,
+        },
+        WorkloadSpec {
+            kind: WorkloadKind::Mm,
+            p1: 64,
+            p2: 0,
+            reps: 32,
+        },
+        WorkloadSpec {
+            kind: WorkloadKind::Ssf,
+            p1: 12,
+            p2: 0,
+            reps: 16,
+        },
+        WorkloadSpec {
+            kind: WorkloadKind::Stress,
+            p1: 8,
+            p2: 256,
+            reps: 256,
+        },
     ];
 
     println!(

@@ -23,9 +23,10 @@ fn solve<C: Fork>(c: &mut C, n: usize, k: usize, rows: &[usize]) -> u64 {
     // Try each column in row k; recurse in parallel over feasible ones.
     let feasible: Vec<usize> = (0..n)
         .filter(|&col| {
-            rows.iter().enumerate().take(k).all(|(r, &cc)| {
-                cc != col && (k - r) != col.abs_diff(cc)
-            })
+            rows.iter()
+                .enumerate()
+                .take(k)
+                .all(|(r, &cc)| cc != col && (k - r) != col.abs_diff(cc))
         })
         .collect();
 
@@ -40,10 +41,7 @@ fn solve<C: Fork>(c: &mut C, n: usize, k: usize, rows: &[usize]) -> u64 {
             }
             _ => {
                 let (lo, hi) = cols.split_at(cols.len() / 2);
-                let (a, b) = c.fork(
-                    |c| over(c, n, k, rows, lo),
-                    |c| over(c, n, k, rows, hi),
-                );
+                let (a, b) = c.fork(|c| over(c, n, k, rows, lo), |c| over(c, n, k, rows, hi));
                 a + b
             }
         }

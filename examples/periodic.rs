@@ -76,9 +76,7 @@ fn main() {
     // Deterministic "sensor" data.
     let samples: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).cos()).collect();
 
-    println!(
-        "periodic processing: {intervals} intervals x {n} samples, {workers} workers"
-    );
+    println!("periodic processing: {intervals} intervals x {n} samples, {workers} workers");
     let mut wool: Pool = Pool::new(workers);
     drive("wool", &mut wool, intervals, &samples);
     let mut tbb = tbb_like(workers);

@@ -1,8 +1,8 @@
 //! Cross-crate integration: every workload computes the same result on
 //! every scheduler in the repository.
 
-use ws_bench::{System, SystemKind};
 use workloads::{WorkloadKind, WorkloadSpec};
+use ws_bench::{System, SystemKind};
 
 const ALL_SYSTEMS: [SystemKind; 13] = [
     SystemKind::Serial,
@@ -40,7 +40,12 @@ fn check_spec(spec: WorkloadSpec, workers: usize) {
 #[test]
 fn fib_agrees_everywhere() {
     check_spec(
-        WorkloadSpec { kind: WorkloadKind::Fib, p1: 17, p2: 0, reps: 2 },
+        WorkloadSpec {
+            kind: WorkloadKind::Fib,
+            p1: 17,
+            p2: 0,
+            reps: 2,
+        },
         3,
     );
 }
@@ -48,7 +53,12 @@ fn fib_agrees_everywhere() {
 #[test]
 fn stress_agrees_everywhere() {
     check_spec(
-        WorkloadSpec { kind: WorkloadKind::Stress, p1: 5, p2: 64, reps: 4 },
+        WorkloadSpec {
+            kind: WorkloadKind::Stress,
+            p1: 5,
+            p2: 64,
+            reps: 4,
+        },
         3,
     );
 }
@@ -56,7 +66,12 @@ fn stress_agrees_everywhere() {
 #[test]
 fn mm_agrees_everywhere() {
     check_spec(
-        WorkloadSpec { kind: WorkloadKind::Mm, p1: 32, p2: 0, reps: 2 },
+        WorkloadSpec {
+            kind: WorkloadKind::Mm,
+            p1: 32,
+            p2: 0,
+            reps: 2,
+        },
         3,
     );
 }
@@ -64,7 +79,12 @@ fn mm_agrees_everywhere() {
 #[test]
 fn ssf_agrees_everywhere() {
     check_spec(
-        WorkloadSpec { kind: WorkloadKind::Ssf, p1: 10, p2: 0, reps: 2 },
+        WorkloadSpec {
+            kind: WorkloadKind::Ssf,
+            p1: 10,
+            p2: 0,
+            reps: 2,
+        },
         3,
     );
 }
@@ -72,7 +92,12 @@ fn ssf_agrees_everywhere() {
 #[test]
 fn cholesky_agrees_everywhere() {
     check_spec(
-        WorkloadSpec { kind: WorkloadKind::Cholesky, p1: 80, p2: 300, reps: 1 },
+        WorkloadSpec {
+            kind: WorkloadKind::Cholesky,
+            p1: 80,
+            p2: 300,
+            reps: 1,
+        },
         3,
     );
 }
@@ -80,7 +105,12 @@ fn cholesky_agrees_everywhere() {
 #[test]
 fn repeated_regions_stay_consistent() {
     // A pool survives many small regions with identical results.
-    let spec = WorkloadSpec { kind: WorkloadKind::Fib, p1: 14, p2: 0, reps: 1 };
+    let spec = WorkloadSpec {
+        kind: WorkloadKind::Fib,
+        p1: 14,
+        p2: 0,
+        reps: 1,
+    };
     let mut serial = System::create(SystemKind::Serial, 1);
     let expect = serial.run_job(spec.job());
     let mut wool = System::create(SystemKind::Wool, 4);
@@ -94,7 +124,12 @@ fn many_workers_on_tiny_work() {
     // More workers than tasks: thieves mostly fail; results still exact.
     for kind in ALL_SYSTEMS {
         let mut sys = System::create(kind, 8);
-        let spec = WorkloadSpec { kind: WorkloadKind::Fib, p1: 6, p2: 0, reps: 3 };
+        let spec = WorkloadSpec {
+            kind: WorkloadKind::Fib,
+            p1: 6,
+            p2: 0,
+            reps: 3,
+        };
         assert_eq!(sys.run_job(spec.job()), 3.0 * 8.0, "{}", kind.name());
     }
 }

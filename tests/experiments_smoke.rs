@@ -1,9 +1,9 @@
 //! Smoke tests: every paper exhibit regenerates end-to-end at tiny
 //! scale, producing structurally complete results.
 
+use workloads::{WorkloadKind, WorkloadSpec};
 use ws_bench::experiments::{fig1, fig4, fig5, fig6, table1, table2, table3, table4};
 use ws_bench::BenchArgs;
-use workloads::{WorkloadKind, WorkloadSpec};
 
 fn tiny_args() -> BenchArgs {
     BenchArgs::parse_from(
@@ -79,8 +79,18 @@ fn fig4_regenerates() {
 fn fig5_regenerates_subset() {
     // A subset keeps the smoke test fast; full sweep is the binary's job.
     let specs = vec![
-        WorkloadSpec { kind: WorkloadKind::Mm, p1: 24, p2: 0, reps: 2 },
-        WorkloadSpec { kind: WorkloadKind::Stress, p1: 4, p2: 64, reps: 4 },
+        WorkloadSpec {
+            kind: WorkloadKind::Mm,
+            p1: 24,
+            p2: 0,
+            reps: 2,
+        },
+        WorkloadSpec {
+            kind: WorkloadKind::Stress,
+            p1: 4,
+            p2: 64,
+            reps: 4,
+        },
     ];
     let r = fig5::run_specs(&tiny_args(), &specs);
     assert_eq!(r.panels.len(), 2);
@@ -109,7 +119,12 @@ fn table1_regenerates_with_full_row_set() {
     let r = table1::run(&tiny_args());
     assert_eq!(r.rows.len(), 24, "all Table I rows");
     for row in &r.rows {
-        assert!(row.parallelism0 >= 0.9, "{}: {}", row.workload, row.parallelism0);
+        assert!(
+            row.parallelism0 >= 0.9,
+            "{}: {}",
+            row.workload,
+            row.parallelism0
+        );
         assert!(
             row.parallelism_2000 <= row.parallelism0 + 1e-6,
             "{}: realistic model must not exceed ideal",
@@ -131,7 +146,10 @@ fn ablation_regenerates() {
     assert!(r.rows.iter().all(|row| row.seconds > 0.0));
     let forced = r.rows.last().unwrap();
     assert!(forced.force_public);
-    assert_eq!(forced.private_ratio, 0.0, "all-public leaves nothing private");
+    assert_eq!(
+        forced.private_ratio, 0.0,
+        "all-public leaves nothing private"
+    );
     assert_eq!(r.join_policy.len(), 2);
     assert_eq!(r.join_policy[0].system, "wool");
     assert_eq!(r.join_policy[1].system, "wool/no-leapfrog");
@@ -140,5 +158,7 @@ fn ablation_regenerates() {
     assert_eq!(r.join_policy[1].leap_steals, 0);
     let rendered = ablation::render(&r).render();
     assert!(rendered.contains("private%"));
-    assert!(ablation::render_join_policy(&r).render().contains("no-leapfrog"));
+    assert!(ablation::render_join_policy(&r)
+        .render()
+        .contains("no-leapfrog"));
 }

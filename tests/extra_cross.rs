@@ -1,7 +1,7 @@
 //! The extended (non-paper) workloads agree across schedulers too.
 
-use ws_bench::{System, SystemKind};
 use wool_core::{Fork, Job};
+use ws_bench::{System, SystemKind};
 
 use workloads::extra::heat::{simulate_par, Grid};
 use workloads::extra::knapsack::{knapsack_dp, knapsack_par, Instance};

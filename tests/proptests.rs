@@ -1,11 +1,31 @@
-//! Property-based tests across crates: randomly shaped task trees give
+//! Property-style tests across crates: randomly shaped task trees give
 //! identical results on every scheduler, and the span model obeys its
-//! algebraic laws.
+//! algebraic laws. Cases are drawn from a seeded xorshift64* generator
+//! so runs are deterministic without an external property testing crate.
 
-use proptest::prelude::*;
-use ws_bench::{System, SystemKind};
 use wool_core::span::combine;
 use wool_core::{Fork, Job};
+use ws_bench::{System, SystemKind};
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+}
 
 /// A randomly shaped computation tree executed with forks.
 #[derive(Debug, Clone)]
@@ -16,19 +36,21 @@ enum Tree {
     ForEach(u8),
 }
 
-fn tree_strategy() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        (0u64..50).prop_map(Tree::Leaf),
-        (1u8..12).prop_map(Tree::ForEach),
-    ];
-    leaf.prop_recursive(5, 64, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Fork(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Tree::Seq(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_tree(rng: &mut Rng, depth: u32) -> Tree {
+    if depth == 0 || rng.next() % 4 == 0 {
+        return if rng.next() % 2 == 0 {
+            Tree::Leaf(rng.next() % 50)
+        } else {
+            Tree::ForEach((1 + rng.next() % 11) as u8)
+        };
+    }
+    let a = Box::new(random_tree(rng, depth - 1));
+    let b = Box::new(random_tree(rng, depth - 1));
+    if rng.next() % 2 == 0 {
+        Tree::Fork(a, b)
+    } else {
+        Tree::Seq(a, b)
+    }
 }
 
 fn eval<C: Fork>(c: &mut C, t: &Tree) -> u64 {
@@ -61,56 +83,84 @@ impl Job<u64> for TreeJob {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any tree shape computes the same value on the wool scheduler,
-    /// the heap-node baseline, and serially.
-    #[test]
-    fn random_trees_agree(t in tree_strategy()) {
+/// Any tree shape computes the same value on the wool scheduler,
+/// the heap-node baseline, and serially.
+#[test]
+fn random_trees_agree() {
+    let mut rng = Rng::new(0x7EE5);
+    for _ in 0..64 {
+        let t = random_tree(&mut rng, 5);
         let mut serial = System::create(SystemKind::Serial, 1);
         let expect = serial.run_job(TreeJob(t.clone()));
         let mut wool = System::create(SystemKind::Wool, 3);
-        prop_assert_eq!(wool.run_job(TreeJob(t.clone())), expect);
+        assert_eq!(wool.run_job(TreeJob(t.clone())), expect);
         let mut tbb = System::create(SystemKind::TbbLike, 2);
-        prop_assert_eq!(tbb.run_job(TreeJob(t)), expect);
+        assert_eq!(tbb.run_job(TreeJob(t)), expect);
     }
+}
 
-    /// span combine: commutative, bounded by sequential sum and by
-    /// max + overhead, monotone in the overhead parameter.
-    #[test]
-    fn combine_laws(a in 0u64..1_000_000, b in 0u64..1_000_000, c1 in 0u64..10_000, c2 in 0u64..10_000) {
-        prop_assert_eq!(combine(a, b, c1), combine(b, a, c1));
+/// span combine: commutative, bounded by sequential sum and by
+/// max + overhead, monotone in the overhead parameter.
+#[test]
+fn combine_laws() {
+    let mut rng = Rng::new(0xC0B1);
+    for _ in 0..200 {
+        let a = rng.next() % 1_000_000;
+        let b = rng.next() % 1_000_000;
+        let c1 = rng.next() % 10_000;
+        let c2 = rng.next() % 10_000;
+        assert_eq!(combine(a, b, c1), combine(b, a, c1));
         let v = combine(a, b, c1);
-        prop_assert!(v <= a + b);
-        prop_assert!(v >= a.max(b).min(a + b));
-        prop_assert!(v <= a.max(b) + c1);
+        assert!(v <= a + b);
+        assert!(v >= a.max(b).min(a + b));
+        assert!(v <= a.max(b) + c1);
         let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
-        prop_assert!(combine(a, b, lo) <= combine(a, b, hi));
+        assert!(combine(a, b, lo) <= combine(a, b, hi));
     }
+}
 
-    /// combine with zero cost is exactly max; with huge cost it's the
-    /// sequential sum.
-    #[test]
-    fn combine_limits(a in 0u64..1_000_000, b in 0u64..1_000_000) {
-        prop_assert_eq!(combine(a, b, 0), a.max(b));
-        prop_assert_eq!(combine(a, b, u64::MAX / 2), a + b);
+/// combine with zero cost is exactly max; with huge cost it's the
+/// sequential sum.
+#[test]
+fn combine_limits() {
+    let mut rng = Rng::new(0x11135);
+    for _ in 0..200 {
+        let a = rng.next() % 1_000_000;
+        let b = rng.next() % 1_000_000;
+        assert_eq!(combine(a, b, 0), a.max(b));
+        assert_eq!(combine(a, b, u64::MAX / 2), a + b);
     }
+}
 
-    /// The steal-cost model never predicts more than linear speedup and
-    /// degrades monotonically with the steal cost.
-    #[test]
-    fn model_sanity(work in 1_000.0f64..1e9, c2 in 0.0f64..1e6, steals in 0.0f64..1e4) {
-        use ws_bench::steal_cost_model_speedup;
-        use ws_bench::model::ModelInputs;
+/// The steal-cost model never predicts more than linear speedup and
+/// degrades monotonically with the steal cost.
+#[test]
+fn model_sanity() {
+    use ws_bench::model::ModelInputs;
+    use ws_bench::steal_cost_model_speedup;
+    let mut rng = Rng::new(0x30DE1);
+    for _ in 0..100 {
+        let work = rng.f64(1_000.0, 1e9);
+        let c2 = rng.f64(0.0, 1e6);
+        let steals = rng.f64(0.0, 1e4);
         for p in [2usize, 4, 8] {
-            let s = steal_cost_model_speedup(ModelInputs { work, c2, cp: c2, steals, p });
-            prop_assert!(s <= p as f64 + 1e-9, "superlinear prediction {s} at p={p}");
-            prop_assert!(s >= 0.0);
-            let s_worse = steal_cost_model_speedup(ModelInputs {
-                work, c2: c2 * 2.0, cp: c2 * 2.0, steals, p,
+            let s = steal_cost_model_speedup(ModelInputs {
+                work,
+                c2,
+                cp: c2,
+                steals,
+                p,
             });
-            prop_assert!(s_worse <= s + 1e-9, "higher cost must not speed up");
+            assert!(s <= p as f64 + 1e-9, "superlinear prediction {s} at p={p}");
+            assert!(s >= 0.0);
+            let s_worse = steal_cost_model_speedup(ModelInputs {
+                work,
+                c2: c2 * 2.0,
+                cp: c2 * 2.0,
+                steals,
+                p,
+            });
+            assert!(s_worse <= s + 1e-9, "higher cost must not speed up");
         }
     }
 }

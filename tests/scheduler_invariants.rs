@@ -17,8 +17,8 @@ fn spawns_equal_joins() {
     for _ in 0..10 {
         pool.run(|h| fib(h, 20));
         let t = pool.last_report().unwrap().total;
-        let joins = t.inlined_private + t.inlined_public + t.stolen_joins
-            + (t.rts_joins - t.stolen_joins); // reacquired-task joins
+        let joins =
+            t.inlined_private + t.inlined_public + t.stolen_joins + (t.rts_joins - t.stolen_joins); // reacquired-task joins
         assert_eq!(t.spawns, joins, "{t:?}");
     }
 }
@@ -81,7 +81,10 @@ fn work_is_conserved() {
     // worker is descheduled, inflating its measured leaf time — which
     // is why Table I takes its work/span numbers from 1-worker runs.
     let (w4, _s4) = run_work(4);
-    assert!(w4 as f64 > 0.5 * w1 as f64, "work lost at 4 workers: {w1} vs {w4}");
+    assert!(
+        w4 as f64 > 0.5 * w1 as f64,
+        "work lost at 4 workers: {w1} vs {w4}"
+    );
     // Span is at most work.
     assert!(s1 <= w1);
 }
