@@ -36,6 +36,27 @@ pub struct PoolConfig {
     /// more, the oldest events are overwritten (and counted as dropped
     /// in the collected trace).
     pub trace_capacity: usize,
+    /// Idle-loop escalation, stage 1: how many consecutive empty-handed
+    /// steal rounds a worker spins (`spin_loop` hint) before it starts
+    /// yielding the CPU. Applies inside parallel regions and to
+    /// serve-mode workers.
+    pub steal_spin: u32,
+    /// Idle-loop escalation for workers *between* parallel regions:
+    /// rounds spent spinning before the first `yield_now`.
+    pub idle_spin: u32,
+    /// Idle-loop escalation, stage 2: total idle rounds after which a
+    /// between-regions (or serve-mode) worker escalates from yielding
+    /// to parking.
+    pub idle_yield: u32,
+    /// How long a parked worker sleeps before re-checking for work, in
+    /// microseconds. Serve-mode pools additionally wake parked workers
+    /// eagerly on every job submission, so this is only the fallback
+    /// poll interval there.
+    pub park_timeout_us: u64,
+    /// Capacity of the global injector queue of a serve-mode pool
+    /// (`wool-serve`), in jobs; rounded up to a power of two. Batch
+    /// pools never allocate or touch the injector.
+    pub injector_capacity: usize,
 }
 
 impl Default for PoolConfig {
@@ -51,6 +72,11 @@ impl Default for PoolConfig {
             span_overhead: DEFAULT_OVERHEAD_CYCLES,
             instrument_trace: false,
             trace_capacity: 1 << 20,
+            steal_spin: 32,
+            idle_spin: 16,
+            idle_yield: 64,
+            park_timeout_us: 200,
+            injector_capacity: 1024,
         }
     }
 }
@@ -101,9 +127,49 @@ impl PoolConfig {
         self
     }
 
+    /// Builder-style: sets the spin threshold of the steal loop.
+    pub fn steal_spin(mut self, rounds: u32) -> Self {
+        self.steal_spin = rounds;
+        self
+    }
+
+    /// Builder-style: sets the between-regions spin threshold.
+    pub fn idle_spin(mut self, rounds: u32) -> Self {
+        self.idle_spin = rounds;
+        self
+    }
+
+    /// Builder-style: sets the idle rounds after which a worker parks.
+    pub fn idle_yield(mut self, rounds: u32) -> Self {
+        self.idle_yield = rounds;
+        self
+    }
+
+    /// Builder-style: sets the parked-worker poll interval, in µs.
+    pub fn park_timeout_us(mut self, us: u64) -> Self {
+        self.park_timeout_us = us;
+        self
+    }
+
+    /// Builder-style: sets the serve-mode injector queue capacity.
+    pub fn injector_capacity(mut self, jobs: usize) -> Self {
+        self.injector_capacity = jobs;
+        self
+    }
+
     /// Validates the configuration, normalizing degenerate values.
+    ///
+    /// # Panics
+    /// Panics when `workers == 0`: a pool needs at least one worker —
+    /// there is no thread that could ever run a task. (Both
+    /// `Pool::with_config` and `wool-serve`'s `ServePool::start` funnel
+    /// through here, so the rejection is uniform.)
     pub fn validated(mut self) -> Self {
-        assert!(self.workers >= 1, "a pool needs at least one worker");
+        assert!(
+            self.workers >= 1,
+            "invalid PoolConfig: workers == 0, but a pool needs at least one worker \
+             (use PoolConfig::with_workers(n) with n >= 1, or default_workers())"
+        );
         assert!(
             self.workers <= crate::slot::STOLEN_BASE.max(1 << 16),
             "worker count does not fit the state encoding"
@@ -112,6 +178,7 @@ impl PoolConfig {
         self.publish_batch = self.publish_batch.max(1);
         self.trip_distance = self.trip_distance.max(1);
         self.trace_capacity = self.trace_capacity.max(1);
+        self.injector_capacity = self.injector_capacity.max(2);
         self
     }
 }
@@ -163,6 +230,31 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = PoolConfig::with_workers(0).validated();
+    }
+
+    #[test]
+    fn idle_loop_knobs_default_to_historic_values() {
+        let c = PoolConfig::default().validated();
+        assert_eq!(c.steal_spin, 32);
+        assert_eq!(c.idle_spin, 16);
+        assert_eq!(c.idle_yield, 64);
+        assert_eq!(c.park_timeout_us, 200);
+    }
+
+    #[test]
+    fn idle_loop_builders() {
+        let c = PoolConfig::with_workers(2)
+            .steal_spin(8)
+            .idle_spin(4)
+            .idle_yield(128)
+            .park_timeout_us(1000)
+            .injector_capacity(3)
+            .validated();
+        assert_eq!(c.steal_spin, 8);
+        assert_eq!(c.idle_spin, 4);
+        assert_eq!(c.idle_yield, 128);
+        assert_eq!(c.park_timeout_us, 1000);
+        assert_eq!(c.injector_capacity, 3, "rounded later, by the queue");
     }
 
     #[test]

@@ -76,9 +76,11 @@ pub mod api;
 pub mod config;
 pub mod cycles;
 mod exec;
+pub mod injector;
 pub mod pad;
 mod pool;
 pub mod scope;
+pub mod serve;
 pub mod slot;
 pub mod span;
 pub mod spinlock;
@@ -93,8 +95,10 @@ pub use wool_trace;
 pub use api::{Executor, Fork, Job};
 pub use config::PoolConfig;
 pub use exec::WorkerHandle;
+pub use injector::{Injector, Runnable};
 pub use pool::{Pool, RunReport};
 pub use scope::Scope;
+pub use serve::{ServeEngine, ServeReport};
 pub use stats::Stats;
 pub use strategy::{
     LockedBase, StealLockBase, StealLockPeek, StealLockTrylock, Strategy, SyncOnTask, TaskSpecific,

@@ -43,6 +43,35 @@ pub(crate) struct PoolInner {
     pub completed: AtomicU64,
 }
 
+impl PoolInner {
+    /// Builds the shared state for a validated configuration, with
+    /// trace rings installed when tracing is configured. Used by both
+    /// the batch [`Pool`] and the serve engine (`crate::serve`).
+    pub(crate) fn build(cfg: PoolConfig) -> Arc<PoolInner> {
+        let p = cfg.workers;
+        let workers: Box<[Worker]> = (0..p).map(|i| Worker::new(i, cfg.stack_capacity)).collect();
+        let inner = Arc::new(PoolInner {
+            workers,
+            cfg,
+            active: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        #[cfg(feature = "trace")]
+        if inner.cfg.instrument_trace {
+            for w in inner.workers.iter() {
+                // SAFETY: no worker thread exists yet; this thread has
+                // exclusive access to every owner cell.
+                unsafe {
+                    (*w.own.get()).trace = wool_trace::TraceRing::new(inner.cfg.trace_capacity);
+                }
+            }
+        }
+        inner
+    }
+}
+
 /// Everything measured during one [`Pool::run`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -104,28 +133,12 @@ impl<S: Strategy> Pool<S> {
     }
 
     /// Creates a pool from an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics when `cfg.workers == 0` (see [`PoolConfig::validated`]).
     pub fn with_config(cfg: PoolConfig) -> Self {
-        let cfg = cfg.validated();
-        let p = cfg.workers;
-        let workers: Box<[Worker]> = (0..p).map(|i| Worker::new(i, cfg.stack_capacity)).collect();
-        let inner = Arc::new(PoolInner {
-            workers,
-            cfg,
-            active: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
-            epoch: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-        });
-        #[cfg(feature = "trace")]
-        if inner.cfg.instrument_trace {
-            for w in inner.workers.iter() {
-                // SAFETY: no worker thread exists yet; this thread has
-                // exclusive access to every owner cell.
-                unsafe {
-                    (*w.own.get()).trace = wool_trace::TraceRing::new(inner.cfg.trace_capacity);
-                }
-            }
-        }
+        let inner = PoolInner::build(cfg.validated());
+        let p = inner.cfg.workers;
         let threads = (1..p)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -367,11 +380,11 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                     unsafe { trace_ev!(handle, Idle, 0) }
                 }
                 idle += 1;
-                if idle < 32 {
+                if idle < cfg.steal_spin {
                     std::hint::spin_loop();
                 } else {
                     #[cfg(feature = "trace")]
-                    if idle == 32 {
+                    if idle == cfg.steal_spin {
                         // Escalation from spinning to yielding the CPU.
                         // SAFETY: this thread owns worker `idx`.
                         unsafe { trace_ev!(handle, Park, 0) }
@@ -412,12 +425,12 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                 wkr.report_epoch.store(done, Release);
             }
             idle += 1;
-            if idle < 16 {
+            if idle < cfg.idle_spin {
                 std::hint::spin_loop();
-            } else if idle < 64 {
+            } else if idle < cfg.idle_yield {
                 std::thread::yield_now();
             } else {
-                std::thread::park_timeout(std::time::Duration::from_micros(200));
+                std::thread::park_timeout(std::time::Duration::from_micros(cfg.park_timeout_us));
             }
         }
     }

@@ -1,0 +1,188 @@
+//! Job completion objects: the consumer half of a submission.
+//!
+//! A [`JobHandle`] is what [`submit`](crate::ServePool::submit) hands
+//! back: a one-shot future resolving to the job's result. It supports
+//! all three consumption styles a service needs — non-blocking polls
+//! ([`try_join`](JobHandle::try_join)), blocking waits
+//! ([`join`](JobHandle::join)), and `std::future::Future` for async
+//! runtimes — and it propagates a panic raised inside the job to
+//! whichever consumer resolves it, mirroring `std::thread::JoinHandle`.
+//!
+//! The completion path is lock-free for the common case: the worker
+//! writes the result and flips one atomic; the mutex/condvar pair is
+//! touched only when a consumer actually has to sleep (or registered an
+//! async waker).
+
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::AtomicU8;
+use std::sync::atomic::Ordering::{Acquire, Release};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+
+/// What the job produced: the result, or the panic it raised.
+type Outcome<R> = std::thread::Result<R>;
+
+struct Waiters {
+    /// Mirror of the DONE state, maintained under the lock so a
+    /// sleeping `join` cannot miss the notify.
+    done: bool,
+    /// At most one async consumer (the handle is not cloneable).
+    waker: Option<Waker>,
+}
+
+/// Shared completion cell between the worker that runs the job and the
+/// handle that consumes it.
+pub(crate) struct JobCore<R> {
+    state: AtomicU8,
+    outcome: UnsafeCell<Option<Outcome<R>>>,
+    waiters: Mutex<Waiters>,
+    cv: Condvar,
+}
+
+// SAFETY: `outcome` is written exactly once by the completing worker
+// before the Release store of DONE, and read only by the single handle
+// owner after an Acquire load of DONE — a classic one-shot hand-off.
+unsafe impl<R: Send> Send for JobCore<R> {}
+unsafe impl<R: Send> Sync for JobCore<R> {}
+
+impl<R> JobCore<R> {
+    pub(crate) fn new() -> Self {
+        JobCore {
+            state: AtomicU8::new(PENDING),
+            outcome: UnsafeCell::new(None),
+            waiters: Mutex::new(Waiters {
+                done: false,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publishes the job's outcome and wakes every kind of waiter.
+    /// Called exactly once, by the worker that ran the job (or by the
+    /// teardown path for a job that will never run).
+    pub(crate) fn complete(&self, outcome: Outcome<R>) {
+        // SAFETY: single writer (exactly-once contract), and no reader
+        // until the Release store below.
+        unsafe { *self.outcome.get() = Some(outcome) };
+        self.state.store(DONE, Release);
+        let waker = {
+            let mut w = self.waiters.lock().unwrap();
+            w.done = true;
+            w.waker.take()
+        };
+        self.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.load(Acquire) == DONE
+    }
+
+    /// Takes the outcome. Caller must have observed `is_done()`.
+    ///
+    /// # Safety
+    /// Requires exclusive access to the consuming handle (guaranteed:
+    /// `JobHandle` is not cloneable and the takers borrow it mutably or
+    /// consume it).
+    unsafe fn take(&self) -> Outcome<R> {
+        (*self.outcome.get())
+            .take()
+            .expect("job outcome already consumed")
+    }
+}
+
+fn resolve<R>(outcome: Outcome<R>) -> R {
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// A handle to a submitted job: poll it, block on it, or `.await` it.
+///
+/// Dropping the handle detaches the job (it still runs to completion;
+/// the result is discarded) — the same semantics as
+/// `std::thread::JoinHandle`.
+pub struct JobHandle<R> {
+    core: Arc<JobCore<R>>,
+}
+
+impl<R: Send> JobHandle<R> {
+    pub(crate) fn new(core: Arc<JobCore<R>>) -> Self {
+        JobHandle { core }
+    }
+
+    /// Whether the job has finished (successfully or by panicking).
+    pub fn is_finished(&self) -> bool {
+        self.core.is_done()
+    }
+
+    /// Non-blocking: returns the result if the job has finished, or
+    /// the handle back if it is still running.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic, if it panicked.
+    pub fn try_join(self) -> Result<R, Self> {
+        if self.core.is_done() {
+            // SAFETY: handle consumed by value — exclusive access.
+            Ok(resolve(unsafe { self.core.take() }))
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic, if it panicked.
+    pub fn join(self) -> R {
+        if !self.core.is_done() {
+            let mut w = self.core.waiters.lock().unwrap();
+            while !w.done {
+                w = self.core.cv.wait(w).unwrap();
+            }
+        }
+        // SAFETY: handle consumed by value — exclusive access.
+        resolve(unsafe { self.core.take() })
+    }
+}
+
+impl<R: Send> Future for JobHandle<R> {
+    type Output = R;
+
+    /// Resolves to the job's result; re-raises the job's panic.
+    ///
+    /// Like `std::thread`'s scoped join handles, polling again after
+    /// `Ready` panics (the result has been moved out).
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<R> {
+        let this = self.get_mut();
+        if this.core.is_done() {
+            // SAFETY: pinned exclusive borrow of the only handle.
+            return Poll::Ready(resolve(unsafe { this.core.take() }));
+        }
+        let mut w = this.core.waiters.lock().unwrap();
+        if w.done {
+            drop(w);
+            // SAFETY: as above.
+            return Poll::Ready(resolve(unsafe { this.core.take() }));
+        }
+        w.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<R> std::fmt::Debug for JobHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.core.is_done())
+            .finish()
+    }
+}

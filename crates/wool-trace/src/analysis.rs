@@ -152,7 +152,7 @@ fn utilization(trace: &Trace) -> Vec<WorkerUtilization> {
                     EventKind::Idle | EventKind::Park => {
                         idle_since.get_or_insert(e.ts);
                     }
-                    EventKind::Unpark | EventKind::StealSuccess => {
+                    EventKind::Unpark | EventKind::StealSuccess | EventKind::Dequeue => {
                         if let Some(s) = idle_since.take() {
                             spans.push((s, e.ts));
                         }

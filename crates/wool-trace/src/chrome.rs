@@ -45,7 +45,7 @@ pub fn to_chrome_json(trace: &Trace) -> Json {
                 EventKind::Idle | EventKind::Park => {
                     idle_since.get_or_insert(e.ts);
                 }
-                EventKind::Unpark | EventKind::StealSuccess => {
+                EventKind::Unpark | EventKind::StealSuccess | EventKind::Dequeue => {
                     if let Some(start) = idle_since.take() {
                         events.push(duration_event("idle", w.worker, us(start), us(e.ts)));
                     }
@@ -120,6 +120,7 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::Leapfrog => "steal",
         EventKind::Publish | EventKind::PublishRequest => "publish",
         EventKind::Idle | EventKind::Park | EventKind::Unpark => "state",
+        EventKind::Inject | EventKind::Dequeue | EventKind::JobDone => "serve",
     }
 }
 

@@ -83,11 +83,21 @@ pub enum EventKind {
     Park = 12,
     /// The worker resumed after finding work or being woken. `arg` = 0.
     Unpark = 13,
+    /// A root job was pushed into the serve pool's global injector.
+    /// Recorded by the *dequeuing* worker (rings are owner-writes-only)
+    /// with the submission timestamp the job carried, so queueing
+    /// latency is visible on the exported timeline. `arg` = job tag.
+    Inject = 14,
+    /// A root job was popped from the global injector by this worker.
+    /// `arg` = job tag.
+    Dequeue = 15,
+    /// A root job ran to completion on this worker. `arg` = job tag.
+    JobDone = 16,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Spawn,
         EventKind::JoinFastPrivate,
         EventKind::JoinFastPublic,
@@ -102,6 +112,9 @@ impl EventKind {
         EventKind::Idle,
         EventKind::Park,
         EventKind::Unpark,
+        EventKind::Inject,
+        EventKind::Dequeue,
+        EventKind::JobDone,
     ];
 
     /// Stable lowercase name used in exported JSON.
@@ -121,6 +134,9 @@ impl EventKind {
             EventKind::Idle => "idle",
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
+            EventKind::Inject => "inject",
+            EventKind::Dequeue => "dequeue",
+            EventKind::JobDone => "job_done",
         }
     }
 

@@ -169,3 +169,25 @@ fn overflow_under_concurrency() {
     let t = pool.last_report().unwrap().total;
     assert!(t.overflow_inlines > 0, "tiny stack must overflow: {t:?}");
 }
+
+/// A pool with no workers could never run anything: constructing one
+/// must fail loudly with an actionable message, not hang or divide by
+/// zero later (`wool-serve` has the twin test for `ServePool::start`).
+#[test]
+fn pool_zero_workers_rejected() {
+    let err = match std::panic::catch_unwind(|| {
+        let _: Pool = Pool::with_config(PoolConfig::with_workers(0));
+    }) {
+        Ok(()) => panic!("Pool::with_config(workers == 0) must panic"),
+        Err(e) => e,
+    };
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("at least one worker"),
+        "panic message should explain the fix: {msg:?}"
+    );
+}
