@@ -185,7 +185,7 @@ impl PoolConfig {
 
 /// Default worker count: available parallelism, capped for sanity.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    crate::sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }

@@ -23,14 +23,14 @@
 //! control path out of `fork` — including panics, via [`JoinGuard`] —
 //! joins the spawned task first.
 
+use crate::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
 use crate::cycles;
 use crate::pool::PoolInner;
 use crate::slot::{
-    is_done, is_stolen, spin_while_empty, stolen, thief_of, RawWrapper, TaskRepr, TaskSlot, DONE,
-    DONE_PANIC, EMPTY, TASK,
+    check_transition, is_done, is_stolen, spin_while_empty, stolen, thief_of, RawWrapper, TaskRepr,
+    TaskSlot, DONE, DONE_PANIC, EMPTY, TASK,
 };
 use crate::span::combine;
 use crate::strategy::{StealSync, Strategy};
@@ -374,6 +374,15 @@ impl<S: Strategy> WorkerHandle<S> {
             return Err(b);
         }
         let slot = wkr.slot(k);
+        // Guard: a descriptor being (re)used for a push may be freshly
+        // EMPTY, left DONE/DONE_PANIC by a joined steal, or — rarely —
+        // still TASK: a stale thief's back-off can restore TASK *after*
+        // the owner consumed the task through the private fast path
+        // (the owner's private-path spin waits the thief out first, so
+        // the restore is totally ordered before this push). What must
+        // never be here is a live STOLEN marker: that descriptor is
+        // executing on another worker.
+        check_transition(slot, |s| !is_stolen(s), "spawn reuses slot");
         TaskRepr::<B, B::Output>::store(slot, b, task_wrapper::<B, S> as RawWrapper);
         // With private tasks the publication fence is the later Release
         // store to `n_public`; otherwise this store itself publishes the
@@ -381,6 +390,9 @@ impl<S: Strategy> WorkerHandle<S> {
         // x86 — the paper's TSO argument for synchronization-free
         // spawns.)
         if S::PRIVATE_TASKS && !self.force_publish_all {
+            // relaxed-ok: the slot is private (above `n_public`); no
+            // thief may read it until the later Release store to
+            // `n_public` publishes it, and that store orders this one.
             slot.state.store(TASK, Relaxed);
         } else {
             slot.state.store(TASK, Release);
@@ -393,6 +405,8 @@ impl<S: Strategy> WorkerHandle<S> {
         if S::PRIVATE_TASKS {
             if self.force_publish_all {
                 wkr.n_public.store(k + 1, Release);
+            // relaxed-ok: advisory trip-wire flag; a missed set only
+            // delays publication until the next spawn or steal request.
             } else if wkr.publish_request.load(Relaxed) {
                 self.publish();
             }
@@ -406,8 +420,12 @@ impl<S: Strategy> WorkerHandle<S> {
     #[cold]
     unsafe fn publish(&mut self) {
         let wkr = self.wkr();
+        // relaxed-ok: advisory flag reset; losing a concurrent set only
+        // delays the next publication, it cannot lose tasks.
         wkr.publish_request.store(false, Relaxed);
         let own = self.own();
+        // relaxed-ok: `n_public` is written only by this thread; its own
+        // last store is always visible to it.
         let np = wkr.n_public.load(Relaxed);
         let top = own.top;
         if top > np {
@@ -444,18 +462,30 @@ impl<S: Strategy> WorkerHandle<S> {
         let k = own.top;
         let slot = wkr.slot(k);
 
+        // relaxed-ok: `n_public` is written only by this thread.
         if S::PRIVATE_TASKS && k >= wkr.n_public.load(Relaxed) {
             // Private fast path: no atomic RMW, no fence — the ~3-cycle
             // row of Table II.
             own.stats.inlined_private += 1;
+            // relaxed-ok (both loads below): the closure data was written
+            // by this thread; a transient thief writes only the state
+            // word (its CAS), never the data, so there is nothing to
+            // acquire — we wait for the *value* TASK only.
             if slot.state.load(Relaxed) != TASK {
                 // A stale thief transiently CASed this slot; because the
                 // slot is private its post-CAS validation must fail, so
                 // it will restore TASK. Extremely rare.
                 while slot.state.load(Relaxed) != TASK {
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 }
             }
+            // Guard: we just observed TASK, but a stale thief may CAS
+            // TASK→EMPTY between that observation and this store (its
+            // back-off will restore TASK; harmless either way since we
+            // overwrite with EMPTY). Anything else is a protocol bug.
+            check_transition(slot, |s| s == TASK || s == EMPTY, "private pop");
+            // relaxed-ok: un-publishes a slot only this thread may touch
+            // (transient thieves excepted, see the guard above).
             slot.state.store(EMPTY, Relaxed);
             trace_ev!(self, JoinFastPrivate, k);
             return self.call_inline::<B>(slot, instr);
@@ -470,6 +500,7 @@ impl<S: Strategy> WorkerHandle<S> {
                 // are designed to exploit (§III-B): privatize down to
                 // the new top. Safe because the swap above acquired the
                 // only descriptor between the old boundary and `top`.
+                // relaxed-ok: `n_public` is written only by this thread.
                 if wkr.n_public.load(Relaxed) > k {
                     wkr.n_public.store(k, Release);
                 }
@@ -493,6 +524,9 @@ impl<S: Strategy> WorkerHandle<S> {
         let slot = wkr.slot(k);
 
         wkr.lock.lock();
+        // relaxed-ok (store and load): both words are read and written
+        // under the per-worker lock in this strategy; the lock's own
+        // Acquire/Release edges order them.
         wkr.top_shared.store(k, Relaxed);
         let was_stolen = wkr.bot.load(Relaxed) > k;
         wkr.lock.unlock();
@@ -525,6 +559,7 @@ impl<S: Strategy> WorkerHandle<S> {
         // The victim takes the lock when joining with a stolen task
         // (§IV-C), protecting the `bot` decrement.
         wkr.lock.lock();
+        // relaxed-ok: `bot` is lock-protected in this strategy.
         wkr.bot.store(k, Relaxed);
         wkr.lock.unlock();
         self.finish_stolen::<B>(slot, s, instr)
@@ -628,6 +663,7 @@ impl<S: Strategy> WorkerHandle<S> {
             // the last public descriptor; everything above `k` is dead.
             {
                 let wkr = self.wkr();
+                // relaxed-ok: `n_public` is written only by this thread.
                 if S::PRIVATE_TASKS && wkr.n_public.load(Relaxed) > k {
                     wkr.n_public.store(k, Release);
                 }
@@ -638,9 +674,14 @@ impl<S: Strategy> WorkerHandle<S> {
             let wkr = self.wkr();
             if steal_uses_lock::<S>() {
                 wkr.lock.lock();
+                // relaxed-ok: `bot` is lock-protected in this strategy.
                 wkr.bot.store(k, Relaxed);
                 wkr.lock.unlock();
             } else {
+                // relaxed-ok: the thief's Release store of DONE (which we
+                // Acquire-loaded to get here) ordered its `bot` store
+                // before our load; no thief can move `bot` past the
+                // youngest public descriptor — ours.
                 debug_assert_eq!(wkr.bot.load(Relaxed), k + 1);
                 wkr.bot.store(k, Release);
             }
@@ -705,16 +746,16 @@ impl<S: Strategy> WorkerHandle<S> {
                 StealOutcome::Executed => idle = 0,
                 StealOutcome::Retry => {
                     idle += 1;
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 }
                 StealOutcome::Empty => {
                     idle += 1;
                     if idle < 64 {
-                        std::hint::spin_loop();
+                        crate::sync::hint::spin_loop();
                     } else {
                         // The thief may be descheduled (oversubscribed
                         // host); let it run.
-                        std::thread::yield_now();
+                        crate::sync::thread::yield_now();
                     }
                 }
             }
@@ -768,13 +809,20 @@ impl<S: Strategy> WorkerHandle<S> {
         victim_idx: usize,
         leap: bool,
     ) -> StealOutcome {
+        // Acquire pairs with the previous thief's Release store of
+        // `bot = b` (or the owner's restore): it orders that steal's
+        // slot writes before our reads of slot `b`.
         let b = victim.bot.load(Acquire);
         if S::PRIVATE_TASKS {
+            // Acquire pairs with the owner's Release publication store:
+            // observing `np > b` makes the TASK state and closure data
+            // of every slot below `np` visible.
             let np = victim.n_public.load(Acquire);
             if b >= np {
                 // Nothing public. There may be private work; ask the
                 // owner to publish (the trip-wire notification channel
                 // also bootstraps publication on a fresh stack).
+                // relaxed-ok: advisory trip-wire flag (see try_push).
                 victim.publish_request.store(true, Relaxed);
                 let own = self.own();
                 own.stats.failed_steals += 1;
@@ -793,6 +841,10 @@ impl<S: Strategy> WorkerHandle<S> {
             self.own().stats.failed_steals += 1;
             return StealOutcome::Empty;
         }
+        // relaxed-ok: the failure ordering — a failed CAS acquires
+        // nothing and we immediately retry from scratch. The AcqRel
+        // success edge pairs with the owner's publication store (task
+        // data) and orders our later writes after the acquisition.
         if slot
             .state
             .compare_exchange(TASK, EMPTY, AcqRel, Relaxed)
@@ -804,9 +856,15 @@ impl<S: Strategy> WorkerHandle<S> {
         // §III-A back-off: we may be a delayed thief that acquired a
         // *reincarnation* of the descriptor; validate that `bot` still
         // points here (and, with private tasks, that the descriptor is
-        // still public).
+        // still public). Both loads are Acquire so the validation
+        // observes values at least as fresh as our winning CAS.
         if victim.bot.load(Acquire) != b || (S::PRIVATE_TASKS && victim.n_public.load(Acquire) <= b)
         {
+            // Guard: between our CAS and this restore we hold the slot —
+            // the only concurrent write is the owner's public-path swap
+            // (or private-path store) of EMPTY, which does not change
+            // the value we observe.
+            check_transition(slot, |s| s == EMPTY, "back-off restore");
             // "Writing back the old value of state is appropriate since
             // the transient value (EMPTY) only makes thieves abort and
             // the joining owner wait." (§III-A)
@@ -815,11 +873,17 @@ impl<S: Strategy> WorkerHandle<S> {
             trace_ev!(self, Backoff, victim_idx);
             return StealOutcome::Retry;
         }
+        // Guard: same exclusive-hold argument as the back-off restore.
+        check_transition(slot, |s| s == EMPTY, "STOLEN announcement");
         slot.state.store(stolen(self.idx), Release);
+        // Release pairs with the next thief's Acquire load of `bot`,
+        // ordering our STOLEN announcement before its probe of slot b+1.
         victim.bot.store(b + 1, Release);
         if S::PRIVATE_TASKS {
             // Trip wire: stealing within `trip_distance` of the public
             // boundary asks the owner for more public tasks.
+            // relaxed-ok: heuristic distance check + advisory flag; a
+            // stale `n_public` can only mistime the publication request.
             let np = victim.n_public.load(Relaxed);
             if np.saturating_sub(b + 1) < self.trip_distance {
                 victim.publish_request.store(true, Relaxed);
@@ -859,6 +923,7 @@ impl<S: Strategy> WorkerHandle<S> {
             _ => victim.lock.lock(),
         }
         // `bot` is protected by the lock: thieves never back off (§IV-C).
+        // relaxed-ok: lock-protected word.
         let b = victim.bot.load(Relaxed);
         if b >= victim.capacity() {
             victim.lock.unlock();
@@ -873,6 +938,7 @@ impl<S: Strategy> WorkerHandle<S> {
         }
         // The owner's join fast path still races with us on the state
         // word (it does not take the lock), so acquire with a CAS.
+        // relaxed-ok: failure ordering — a failed CAS acquires nothing.
         if slot
             .state
             .compare_exchange(TASK, EMPTY, AcqRel, Relaxed)
@@ -882,7 +948,10 @@ impl<S: Strategy> WorkerHandle<S> {
             self.own().stats.lost_races += 1;
             return StealOutcome::Retry;
         }
+        // Guard: we hold the slot (winning CAS) *and* the victim lock.
+        check_transition(slot, |s| s == EMPTY, "locked STOLEN announcement");
         slot.state.store(stolen(self.idx), Release);
+        // relaxed-ok: lock-protected word.
         victim.bot.store(b + 1, Relaxed);
         victim.lock.unlock();
         trace_ev!(self, StealSuccess, victim_idx);
@@ -901,6 +970,7 @@ impl<S: Strategy> WorkerHandle<S> {
         leap: bool,
     ) -> StealOutcome {
         victim.lock.lock();
+        // relaxed-ok: lock-protected word.
         let b = victim.bot.load(Relaxed);
         let t = victim.top_shared.load(Acquire);
         if b >= t {
@@ -912,7 +982,12 @@ impl<S: Strategy> WorkerHandle<S> {
         // Under the lock the steal end is exclusively ours: mark and go.
         // (The owner observes `bot > k` only under the same lock, by
         // which time STOLEN below is visible.)
+        // Guard: in this strategy the state word is only a completion
+        // signal — a live slot below the shared `top` must read TASK
+        // (every push stores it, and no join path clears it here).
+        check_transition(slot, |s| s == TASK, "shared-top STOLEN mark");
         slot.state.store(stolen(self.idx), Release);
+        // relaxed-ok: lock-protected word.
         victim.bot.store(b + 1, Relaxed);
         victim.lock.unlock();
         trace_ev!(self, StealSuccess, victim_idx);
@@ -955,6 +1030,15 @@ impl<S: Strategy> WorkerHandle<S> {
                 own.span.mark = cycles::now();
             }
         }
+        // Guard: between our STOLEN announcement and this completion
+        // store the only other writer is the joining owner's public-path
+        // swap, which consumes our STOLEN marker (leaving EMPTY) and then
+        // waits for this store in spin_while_empty / leap_wait. Other
+        // thieves' CASes expect TASK and cannot touch the slot. (The
+        // EMPTY case was found by the wool-verify slot model: the
+        // original guard demanded STOLEN(me) only.)
+        let me = stolen(self.idx);
+        check_transition(slot, move |s| s == me || s == EMPTY, "completion publish");
         // Publish completion *after* the result and span writes.
         slot.state
             .store(if ok { DONE } else { DONE_PANIC }, Release);

@@ -17,10 +17,10 @@
 //! (stealing) strictly ahead of new root jobs — the same priority order
 //! injector-fed runtimes like Tokio and crossbeam's `Injector` use.
 
+use crate::sync::atomic::AtomicUsize;
+use crate::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
 use std::cell::UnsafeCell;
 use std::mem::{ManuallyDrop, MaybeUninit};
-use std::sync::atomic::AtomicUsize;
-use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
 
 use crate::pad::CachePadded;
 
@@ -163,12 +163,21 @@ impl Injector {
 
     /// Enqueues a job; returns it back when the queue is full.
     pub fn push(&self, job: Runnable) -> Result<(), Runnable> {
+        // relaxed-ok: position hint only; a stale value is corrected by
+        // the seq check or the CAS failure below, never acted on.
         let mut pos = self.head.load(Relaxed);
         loop {
             let cell = &self.buf[pos & self.mask];
+            // Acquire pairs with the consumer's Release store of
+            // `pos + mask + 1`: seeing the vacancy value proves the
+            // previous lap's payload read happened-before our write.
             let seq = cell.seq.load(Acquire);
             let dif = seq as isize - pos as isize;
             if dif == 0 {
+                // relaxed-ok: head is a ticket counter; winning the CAS
+                // only claims the position. The payload hand-off
+                // synchronizes through `seq`, not `head`, so neither the
+                // success nor the failure ordering needs to be stronger.
                 match self
                     .head
                     .compare_exchange_weak(pos, pos + 1, Relaxed, Relaxed)
@@ -177,6 +186,8 @@ impl Injector {
                         // SAFETY: the CAS gave this thread exclusive
                         // ownership of the cell for this lap.
                         unsafe { (*cell.val.get()).write(job) };
+                        // Release publishes the payload write above to
+                        // the consumer's Acquire load of `seq`.
                         cell.seq.store(pos + 1, Release);
                         return Ok(());
                     }
@@ -187,6 +198,8 @@ impl Injector {
                 // queue is full.
                 return Err(job);
             } else {
+                // relaxed-ok: position hint only (see the head load at
+                // the top of this function).
                 pos = self.head.load(Relaxed);
             }
         }
@@ -194,12 +207,19 @@ impl Injector {
 
     /// Dequeues a job, if any.
     pub fn pop(&self) -> Option<Runnable> {
+        // relaxed-ok: position hint only; a stale value is corrected by
+        // the seq check or the CAS failure below, never acted on.
         let mut pos = self.tail.load(Relaxed);
         loop {
             let cell = &self.buf[pos & self.mask];
+            // Acquire pairs with the producer's Release store of
+            // `pos + 1`: seeing the filled value makes the payload write
+            // happen-before our read of the cell.
             let seq = cell.seq.load(Acquire);
             let dif = seq as isize - (pos + 1) as isize;
             if dif == 0 {
+                // relaxed-ok: tail is a ticket counter; the hand-off
+                // synchronizes through `seq` (see push).
                 match self
                     .tail
                     .compare_exchange_weak(pos, pos + 1, Relaxed, Relaxed)
@@ -208,6 +228,9 @@ impl Injector {
                         // SAFETY: the CAS gave this thread exclusive
                         // ownership of the (filled) cell for this lap.
                         let job = unsafe { (*cell.val.get()).assume_init_read() };
+                        // Release publishes the payload *read* (and thus
+                        // the vacancy) to the next lap's producer, which
+                        // may overwrite the cell after its Acquire load.
                         cell.seq.store(pos + self.mask + 1, Release);
                         return Some(job);
                     }
@@ -216,6 +239,8 @@ impl Injector {
             } else if dif < 0 {
                 return None;
             } else {
+                // relaxed-ok: position hint only (see the tail load at
+                // the top of this function).
                 pos = self.tail.load(Relaxed);
             }
         }
@@ -230,6 +255,8 @@ impl Injector {
 
     /// Approximate number of queued jobs.
     pub fn len(&self) -> usize {
+        // relaxed-ok: advisory statistic; the two counters are not read
+        // atomically together anyway, so stronger orderings buy nothing.
         self.head
             .load(Relaxed)
             .saturating_sub(self.tail.load(Relaxed))
@@ -249,7 +276,7 @@ impl Drop for Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use crate::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// A payload that counts how it left the queue.
@@ -373,7 +400,7 @@ mod tests {
                                 Ok(()) => break,
                                 Err(j) => {
                                     job = j;
-                                    std::thread::yield_now();
+                                    crate::sync::thread::yield_now();
                                 }
                             }
                         }
@@ -391,7 +418,7 @@ mod tests {
                     } else if consumed.load(Ordering::Relaxed) == PRODUCERS * PER_PRODUCER {
                         break;
                     } else {
-                        std::hint::spin_loop();
+                        crate::sync::hint::spin_loop();
                     }
                 });
             }

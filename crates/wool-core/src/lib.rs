@@ -86,6 +86,7 @@ pub mod span;
 pub mod spinlock;
 pub mod stats;
 pub mod strategy;
+pub mod sync;
 pub mod timebreak;
 mod worker;
 
@@ -164,7 +165,7 @@ mod tests {
 
     #[test]
     fn for_each_spawn_covers_every_index() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use crate::sync::atomic::{AtomicU64, Ordering};
         let mut pool: Pool = Pool::new(4);
         let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
         pool.run(|h| {
@@ -219,7 +220,7 @@ mod tests {
         // doing task work (so the owner services trip-wire publication
         // requests) until the spawned branch has been executed — which
         // can only happen on a thief.
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::sync::atomic::{AtomicBool, Ordering};
         use std::time::{Duration, Instant};
         let mut pool: Pool = Pool::new(4);
         let started = AtomicBool::new(false);
@@ -234,7 +235,7 @@ mod tests {
                         if t0.elapsed() > Duration::from_secs(30) {
                             panic!("spawned branch was never stolen");
                         }
-                        std::thread::yield_now();
+                        crate::sync::thread::yield_now();
                     }
                 },
                 |_| started.store(true, Ordering::Release),
@@ -277,7 +278,7 @@ mod tests {
 
     #[test]
     fn panic_in_call_branch_joins_pending_task() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::sync::atomic::{AtomicBool, Ordering};
         let ran = AtomicBool::new(false);
         let mut pool: Pool = Pool::new(2);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -333,7 +334,7 @@ mod tests {
 
     #[test]
     fn nested_for_each() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use crate::sync::atomic::{AtomicU64, Ordering};
         let mut pool: Pool = Pool::new(3);
         let grid: Vec<Vec<AtomicU64>> = (0..8)
             .map(|_| (0..8).map(|_| AtomicU64::new(0)).collect())

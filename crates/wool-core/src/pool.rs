@@ -11,12 +11,12 @@
 //! CPU-time breakdown (Figure 6), depending on which instrumentation the
 //! [`PoolConfig`] enabled.
 
+use crate::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use crate::sync::atomic::{AtomicBool, AtomicU64};
+use crate::sync::thread::JoinHandle;
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
-use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crate::config::PoolConfig;
 use crate::cycles;
@@ -142,7 +142,7 @@ impl<S: Strategy> Pool<S> {
         let threads = (1..p)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("wool-{}-{}", S::NAME, i))
                     .spawn(move || background_loop::<S>(inner, i))
                     .expect("failed to spawn worker thread")
@@ -252,9 +252,9 @@ impl<S: Strategy> Pool<S> {
             while w.report_epoch.load(Acquire) != epoch {
                 spins += 1;
                 if spins < 256 {
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 }
             }
             // SAFETY: the Acquire above pairs with the worker's Release
@@ -381,7 +381,7 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                 }
                 idle += 1;
                 if idle < cfg.steal_spin {
-                    std::hint::spin_loop();
+                    crate::sync::hint::spin_loop();
                 } else {
                     #[cfg(feature = "trace")]
                     if idle == cfg.steal_spin {
@@ -390,7 +390,7 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
                         unsafe { trace_ev!(handle, Park, 0) }
                     }
                     // Crucial on oversubscribed hosts: let victims run.
-                    std::thread::yield_now();
+                    crate::sync::thread::yield_now();
                 }
             }
         } else {
@@ -426,11 +426,13 @@ fn background_loop<S: Strategy>(inner: Arc<PoolInner>, idx: usize) {
             }
             idle += 1;
             if idle < cfg.idle_spin {
-                std::hint::spin_loop();
+                crate::sync::hint::spin_loop();
             } else if idle < cfg.idle_yield {
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             } else {
-                std::thread::park_timeout(std::time::Duration::from_micros(cfg.park_timeout_us));
+                crate::sync::thread::park_timeout(std::time::Duration::from_micros(
+                    cfg.park_timeout_us,
+                ));
             }
         }
     }

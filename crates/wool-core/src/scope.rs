@@ -130,8 +130,8 @@ impl<'scope, S: Strategy> Scope<'scope, S> {
 
 #[cfg(test)]
 mod tests {
+    use crate::sync::atomic::{AtomicU64, Ordering};
     use crate::{Pool, PoolConfig};
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn heterogeneous_spawns_join_before_return() {

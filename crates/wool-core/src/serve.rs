@@ -21,11 +21,11 @@
 //! drain, panic propagation) lives in the `wool-serve` crate, which
 //! monomorphizes submissions down to [`Runnable`]s.
 
+use crate::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64};
+use crate::sync::thread::{JoinHandle, Thread};
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64};
 use std::sync::{Arc, Mutex};
-use std::thread::{JoinHandle, Thread};
 
 use crate::config::PoolConfig;
 use crate::exec::WorkerHandle;
@@ -127,7 +127,7 @@ impl<S: Strategy> ServeEngine<S> {
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("wool-serve-{}-{}", S::NAME, i))
                     .spawn(move || serve_loop::<S>(inner, shared, i))
                     .expect("failed to spawn serve worker thread")
@@ -249,7 +249,7 @@ fn serve_loop<S: Strategy>(inner: Arc<PoolInner>, shared: Arc<ServeShared>, idx:
     let wkr = &inner.workers[idx];
 
     // Register for injector-aware wakeups before the first park.
-    *shared.threads[idx].lock().unwrap() = Some(std::thread::current());
+    *shared.threads[idx].lock().unwrap() = Some(crate::sync::thread::current());
 
     // SAFETY: owner-only state, this is the owning thread.
     unsafe {
@@ -324,9 +324,9 @@ fn serve_loop<S: Strategy>(inner: Arc<PoolInner>, shared: Arc<ServeShared>, idx:
         }
         idle += 1;
         if idle < cfg.steal_spin {
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         } else if idle < cfg.idle_yield {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         } else {
             // Park with an injector-aware wakeup: set the flag, then
             // re-check the queue (and shutdown). A submitter does the
@@ -338,6 +338,14 @@ fn serve_loop<S: Strategy>(inner: Arc<PoolInner>, shared: Arc<ServeShared>, idx:
             fence(SeqCst);
             if !shared.injector.is_empty() || inner.shutdown.load(SeqCst) {
                 shared.parked[idx].store(false, Relaxed);
+                // Work (or shutdown) appeared between the last poll and
+                // the flag store. Restart the idle escalation rather
+                // than re-entering the park sequence in a tight loop:
+                // the queue can be non-empty with the job not yet
+                // poppable (a submitter between its slot reservation and
+                // its publish), and the escalation's spin phase is where
+                // waiting for that publish belongs.
+                idle = 0;
                 continue;
             }
             #[cfg(feature = "trace")]
@@ -345,7 +353,9 @@ fn serve_loop<S: Strategy>(inner: Arc<PoolInner>, shared: Arc<ServeShared>, idx:
                 // SAFETY: this thread owns worker `idx`.
                 unsafe { trace_ev!(handle, Park, 0) }
             }
-            std::thread::park_timeout(std::time::Duration::from_micros(cfg.park_timeout_us));
+            crate::sync::thread::park_timeout(std::time::Duration::from_micros(
+                cfg.park_timeout_us,
+            ));
             shared.parked[idx].store(false, Relaxed);
             #[cfg(feature = "trace")]
             {

@@ -25,10 +25,10 @@
 //!   the joining owner can fold it into the critical-path computation
 //!   (the paper's span measurement facility behind Table I).
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Inline storage per task descriptor, in 8-byte words.
 pub const DATA_WORDS: usize = 8;
@@ -303,6 +303,39 @@ impl<F, R> TaskRepr<F, R> {
     }
 }
 
+/// Debug/loom-only protocol guard: asserts the state word currently
+/// holds a value `legal` accepts, immediately before a transition
+/// overwrites it.
+///
+/// Active under `debug_assertions` **and** under `cfg(loom)` — the
+/// model-checking suite (`wool-verify`) runs in release mode, where
+/// `debug_assertions` is off, yet these invariants are exactly what the
+/// models exist to check. Compiled to nothing in plain release builds.
+///
+/// The guard load is `Relaxed` deliberately: it checks a *value*, not an
+/// ordering, and every call site owns enough of the slot that the set of
+/// values any other thread could concurrently write is itself legal
+/// (see the site-by-site notes at the call sites in `exec.rs`). A
+/// stronger ordering here would mask exactly the fences the models are
+/// supposed to validate.
+#[inline(always)]
+pub fn check_transition(slot: &TaskSlot, legal: impl Fn(usize) -> bool, about: &str) {
+    #[cfg(any(debug_assertions, loom))]
+    {
+        // relaxed-ok: value check only; legality of every concurrently
+        // writable value is argued per call site, no ordering is needed.
+        let s = slot.state.load(Ordering::Relaxed);
+        assert!(
+            legal(s),
+            "slot protocol violation before {about}: observed state {s}"
+        );
+    }
+    #[cfg(not(any(debug_assertions, loom)))]
+    {
+        let _ = (slot, legal, about);
+    }
+}
+
 /// Spin-waits until the slot's state is no longer the transient `EMPTY`
 /// left behind by an in-flight steal, returning the next stable value.
 ///
@@ -312,17 +345,21 @@ impl<F, R> TaskRepr<F, R> {
 pub fn spin_while_empty(slot: &TaskSlot) -> usize {
     let mut spins = 0u32;
     loop {
+        // Acquire pairs with the thief's Release stores of `TASK` (steal
+        // back-off restore) and `DONE`/`DONE_PANIC` (completion): once we
+        // see the stable value, the thief's writes to `span`/`data`
+        // happen-before our reads of them.
         let s = slot.state.load(Ordering::Acquire);
         if s != EMPTY {
             return s;
         }
         spins += 1;
         if spins < 128 {
-            std::hint::spin_loop();
+            crate::sync::hint::spin_loop();
         } else {
             // The thief mid-steal may be descheduled (uniprocessor or
             // oversubscribed hosts); yield so it can finish.
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
     }
 }
@@ -453,11 +490,12 @@ mod tests {
     #[test]
     fn drop_of_unexecuted_boxed_closure_not_leaked_by_take() {
         // take_closure must free the box without running the closure.
-        use std::sync::atomic::AtomicUsize;
+        use crate::sync::atomic::AtomicUsize;
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         struct Tracker([u64; 16]);
         impl Drop for Tracker {
             fn drop(&mut self) {
+                // relaxed-ok: single-threaded test counter.
                 DROPS.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -473,6 +511,7 @@ mod tests {
             });
             drop(g);
         }
+        // relaxed-ok: single-threaded test counter.
         assert_eq!(DROPS.load(Ordering::Relaxed), 1);
     }
 }

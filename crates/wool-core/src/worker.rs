@@ -19,8 +19,8 @@
 //! discipline is equivalent to the paper's per-descriptor flag: the
 //! public region is always a contiguous prefix of the live stack.
 
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 
 use crate::pad::CachePadded;
 
@@ -165,7 +165,7 @@ impl Worker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
+    use crate::sync::atomic::Ordering;
 
     #[test]
     fn new_worker_is_quiescent() {

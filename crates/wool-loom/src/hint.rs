@@ -1,0 +1,9 @@
+//! Model-aware drop-in for `std::hint::spin_loop`.
+
+/// Declares a fruitless condition re-check: the scheduler parks the
+/// caller until some other thread performs a write. Only call from spin
+/// loops that re-check shared state each iteration (the contract every
+/// wool-core call site satisfies).
+pub fn spin_loop() {
+    crate::rt::spin();
+}

@@ -16,16 +16,16 @@
 use std::cell::UnsafeCell;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::AtomicU8;
-use std::sync::atomic::Ordering::{Acquire, Release};
 use std::sync::{Arc, Condvar, Mutex};
+use wool_core::sync::atomic::AtomicU8;
+use wool_core::sync::atomic::Ordering::{Acquire, Release};
 use std::task::{Context, Poll, Waker};
 
 const PENDING: u8 = 0;
 const DONE: u8 = 1;
 
 /// What the job produced: the result, or the panic it raised.
-type Outcome<R> = std::thread::Result<R>;
+type Outcome<R> = std::thread::Result<R>; // lint-ok: type alias only, no thread API use
 
 struct Waiters {
     /// Mirror of the DONE state, maintained under the lock so a

@@ -2,10 +2,10 @@
 
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering::SeqCst;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+use wool_core::sync::atomic::Ordering::SeqCst;
+use wool_core::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize};
 
 use wool_core::injector::Runnable;
 use wool_core::serve::{ServeEngine, ServeReport};
@@ -203,7 +203,7 @@ impl<S: Strategy> ServePool<S> {
                         return Err(SubmitError::ShuttingDown);
                     }
                     job = back;
-                    std::thread::yield_now();
+                    wool_core::sync::thread::yield_now();
                 }
             }
         }

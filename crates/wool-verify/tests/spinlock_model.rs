@@ -1,0 +1,119 @@
+//! Exhaustive models of the TATAS [`SpinLock`]: mutual exclusion under
+//! contention, `try_lock` single-grant, and release-on-panic (the
+//! no-poisoning contract of `with`).
+//!
+//! Run with: `RUSTFLAGS="--cfg loom" cargo test -p wool-verify --release`
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use wool_core::spinlock::SpinLock;
+use wool_core::sync::atomic::Ordering::SeqCst;
+use wool_core::sync::atomic::{AtomicBool, AtomicUsize};
+use wool_core::sync::thread;
+use wool_verify::support::bounded;
+
+/// Acquire the lock, assert sole occupancy via an independent flag, and
+/// release. The `inside` swap would observe `true` if two threads were
+/// ever simultaneously inside the critical section.
+fn contend(lock: &SpinLock, inside: &AtomicBool, acquired: &AtomicUsize) {
+    lock.lock();
+    assert!(
+        !inside.swap(true, SeqCst),
+        "two threads inside the critical section"
+    );
+    acquired.fetch_add(1, SeqCst);
+    inside.store(false, SeqCst);
+    lock.unlock();
+}
+
+/// Two contenders over every interleaving of the TATAS acquire path
+/// (fast swap, the test-and-test-and-set inner spin, and release):
+/// mutual exclusion holds and both eventually acquire.
+#[test]
+fn mutual_exclusion_two_contenders() {
+    wool_loom::model_config(bounded(3), || {
+        let lock = Arc::new(SpinLock::new());
+        let inside = Arc::new(AtomicBool::new(false));
+        let acquired = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let inside = Arc::clone(&inside);
+                let acquired = Arc::clone(&acquired);
+                thread::spawn(move || contend(&lock, &inside, &acquired))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(acquired.load(SeqCst), 2);
+        assert!(lock.try_lock(), "lock free after both released");
+    });
+}
+
+/// Two racing `try_lock` calls on a free lock: at most one holds at a
+/// time, and at least one must succeed (the first swap to land wins —
+/// `try_lock` can spuriously fail only when someone actually holds it).
+#[test]
+fn try_lock_single_grant() {
+    wool_loom::model_config(bounded(3), || {
+        let lock = Arc::new(SpinLock::new());
+        let inside = Arc::new(AtomicBool::new(false));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let inside = Arc::clone(&inside);
+                let wins = Arc::clone(&wins);
+                thread::spawn(move || {
+                    if lock.try_lock() {
+                        assert!(!inside.swap(true, SeqCst), "double grant");
+                        wins.fetch_add(1, SeqCst);
+                        inside.store(false, SeqCst);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(wins.load(SeqCst) >= 1, "free lock refused every try_lock");
+    });
+}
+
+/// A critical section that panics must release the lock on unwind (no
+/// poisoning), and a contender spinning in `lock()` at that moment must
+/// be woken by the release and complete. This exercises the model
+/// runtime's unwind path: the guard's unlock runs while panicking.
+#[test]
+fn with_releases_on_panic_and_wakes_contender() {
+    // The deliberate in-model panic would spam the default hook once per
+    // explored execution; silence it for the duration.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    wool_loom::model_config(bounded(3), || {
+        let lock = Arc::new(SpinLock::new());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let contender = {
+            let lock = Arc::clone(&lock);
+            let ran = Arc::clone(&ran);
+            thread::spawn(move || {
+                lock.with(|| {
+                    ran.fetch_add(1, SeqCst);
+                });
+            })
+        };
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            lock.with(|| -> () { panic!("boom") });
+        }));
+        assert!(panicked.is_err());
+        contender.join().unwrap();
+        assert_eq!(ran.load(SeqCst), 1);
+        // Usable afterwards: no poisoning.
+        lock.lock();
+        lock.unlock();
+    });
+    std::panic::set_hook(prev);
+}

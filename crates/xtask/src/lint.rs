@@ -1,0 +1,242 @@
+//! The sync-facade lint.
+//!
+//! Two rules over the scheduler crates (`wool-core`, `wool-serve`,
+//! `wool-verify`):
+//!
+//! 1. **Facade rule** — `std::sync::atomic` and `std::thread` may appear
+//!    only in `sync.rs` (the facade itself). Everything else must go
+//!    through `crate::sync` / `wool_core::sync` so that `--cfg loom`
+//!    reroutes every synchronization operation into the model checker; a
+//!    single stray `std` atomic would silently escape exploration.
+//! 2. **Relaxed rule** — in the protocol files (`slot.rs`,
+//!    `injector.rs`, `exec.rs`) every `Ordering::Relaxed` must carry a
+//!    written justification: a `relaxed-ok` annotation on the same line
+//!    or within the ten preceding lines. Relaxed on a protocol word is
+//!    where fences quietly go missing; the annotation forces the
+//!    happens-before argument to live next to the code.
+//!
+//! Escapes: lines after a `#[cfg(test)]` marker are exempt (tests may
+//! spawn real threads and poke counters), comment lines are exempt, and
+//! `// lint-ok: <reason>` on the line silences rule 1.
+//!
+//! The rules are pure functions over `(file name, content)` — see the
+//! unit tests — and `run` is a thin filesystem walk around them.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose `src/` trees are subject to the lint. `wool-loom` is
+/// deliberately absent: it *is* the `--cfg loom` backend and implements
+/// the facade with real `std` primitives.
+const LINTED_CRATES: &[&str] = &["wool-core", "wool-serve", "wool-verify"];
+
+/// Files where every `Relaxed` needs a `relaxed-ok` justification.
+const RELAXED_AUDITED_FILES: &[&str] = &["slot.rs", "injector.rs", "exec.rs"];
+
+/// How far above a `Relaxed` use its `relaxed-ok` justification may sit.
+const RELAXED_JUSTIFICATION_WINDOW: usize = 10;
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Rule 1: raw `std::sync::atomic` / `std::thread` outside the facade.
+/// `file_name` is the bare file name (`exec.rs`), used to exempt the
+/// facade itself.
+pub fn check_facade(file_name: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if file_name == "sync.rs" {
+        return findings;
+    }
+    let mut in_tests = false;
+    for (idx, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests || trimmed.starts_with("//") || line.contains("lint-ok") {
+            continue;
+        }
+        for needle in ["std::sync::atomic", "std::thread"] {
+            if line.contains(needle) {
+                findings.push(Finding {
+                    line: idx + 1,
+                    message: format!(
+                        "raw `{needle}` outside the sync facade; use `crate::sync` \
+                         (or annotate `// lint-ok: <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 2: `Relaxed` in a protocol file without a nearby `relaxed-ok`
+/// justification.
+pub fn check_relaxed(file_name: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !RELAXED_AUDITED_FILES.contains(&file_name) {
+        return findings;
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    let mut in_tests = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests || trimmed.starts_with("//") || trimmed.starts_with("use ") {
+            continue;
+        }
+        if !line.contains("Relaxed") {
+            continue;
+        }
+        let window_start = idx.saturating_sub(RELAXED_JUSTIFICATION_WINDOW);
+        let justified = lines[window_start..=idx]
+            .iter()
+            .any(|l| l.contains("relaxed-ok"));
+        if !justified {
+            findings.push(Finding {
+                line: idx + 1,
+                message: format!(
+                    "`Relaxed` on a protocol word without a `relaxed-ok` justification \
+                     within {RELAXED_JUSTIFICATION_WINDOW} lines"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Applies both rules to one file.
+pub fn check_file(file_name: &str, content: &str) -> Vec<Finding> {
+    let mut f = check_facade(file_name, content);
+    f.extend(check_relaxed(file_name, content));
+    f.sort_by_key(|x| x.line);
+    f
+}
+
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rs_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+pub fn run() -> ExitCode {
+    let root = workspace_root();
+    let mut total = 0usize;
+    let mut files = 0usize;
+    for krate in LINTED_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut paths = Vec::new();
+        if let Err(e) = rs_files_under(&src, &mut paths) {
+            eprintln!("xtask lint: cannot walk {}: {e}", src.display());
+            return ExitCode::FAILURE;
+        }
+        paths.sort();
+        for path in paths {
+            let content = match std::fs::read_to_string(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            files += 1;
+            for f in check_file(&name, &content) {
+                eprintln!("{}:{}: {}", path.display(), f.line, f.message);
+                total += 1;
+            }
+        }
+    }
+    if total > 0 {
+        eprintln!("xtask lint: {total} finding(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask lint: clean ({files} files)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: parent of this crate's manifest dir, two levels up
+/// (`crates/xtask`). Works both under `cargo xtask` and a direct binary
+/// invocation from anywhere in the tree.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives at <root>/crates/xtask")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_flags_raw_atomic_import() {
+        let src = "use std::sync::atomic::AtomicUsize;\nfn f() {}\n";
+        let f = check_facade("exec.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn facade_flags_raw_thread_spawn() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(check_facade("pool.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn facade_exempts_sync_rs_comments_tests_and_lint_ok() {
+        let in_sync = "pub use std::sync::atomic::AtomicUsize;\n";
+        assert!(check_facade("sync.rs", in_sync).is_empty());
+        let comment = "// mirrors std::thread::JoinHandle\n/// like std::sync::atomic\n";
+        assert!(check_facade("handle.rs", comment).is_empty());
+        let tests = "#[cfg(test)]\nmod tests {\n  use std::thread;\n  fn t() { std::thread::scope(|_| {}); }\n}\n";
+        assert!(check_facade("injector.rs", tests).is_empty());
+        let ok =
+            "let t = std::thread::available_parallelism(); // lint-ok: capacity probe, not sync\n";
+        assert!(check_facade("config.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn relaxed_needs_nearby_justification() {
+        let bare = "fn f(a: &A) { a.x.load(Ordering::Relaxed); }\n";
+        assert_eq!(check_relaxed("slot.rs", bare).len(), 1);
+        let justified =
+            "// relaxed-ok: advisory statistic\nfn f(a: &A) { a.x.load(Ordering::Relaxed); }\n";
+        assert!(check_relaxed("slot.rs", justified).is_empty());
+        let inline = "a.x.load(Ordering::Relaxed); // relaxed-ok: value re-checked under lock\n";
+        assert!(check_relaxed("injector.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn relaxed_window_is_bounded() {
+        let far = format!(
+            "// relaxed-ok: too far away\n{}a.x.load(Ordering::Relaxed);\n",
+            "\n".repeat(RELAXED_JUSTIFICATION_WINDOW + 1)
+        );
+        assert_eq!(check_relaxed("exec.rs", &far).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_rule_scoped_to_protocol_files() {
+        let bare = "a.x.load(Ordering::Relaxed);\n";
+        assert!(check_relaxed("stats.rs", bare).is_empty());
+        let uses = "use std::sync::atomic::Ordering::Relaxed;\n";
+        assert!(check_relaxed("slot.rs", uses).is_empty());
+        let tests = "#[cfg(test)]\nmod tests { fn t(a: &A) { a.x.load(Ordering::Relaxed); } }\n";
+        assert!(check_relaxed("slot.rs", tests).is_empty());
+    }
+}
