@@ -1,0 +1,80 @@
+//! The paper's loop kernels, hand-rolled vs `wool-par` vs sequential.
+//!
+//! Two kernel shapes from `workloads::loops_par` — an in-place map
+//! (`x <- x*x + 1`) and a dot-product reduce — each measured:
+//!
+//! * sequentially (the granularity model's `T_S`),
+//! * with the hand-rolled recursive splitter at the same grain the
+//!   adaptive model picks ("default") and across a grain sweep,
+//! * with `wool-par` iterators, adaptive and across the same sweep.
+//!
+//! The acceptance bar for the iterator layer is to stay within 10% of
+//! the hand-rolled splitter at the default grain: the abstraction may
+//! not tax the fork path. Results land in `BENCH_par_loops.json` at
+//! the repo root (median + p10/p90 per case) as the perf trajectory
+//! future PRs compare against.
+
+use wool_core::{config::default_workers, Pool, PoolConfig};
+use workloads::loops_par::{
+    dot_hand, dot_par, dot_par_grain, dot_seq, map_hand, map_par, map_par_grain, map_seq,
+};
+use ws_bench::microbench::{repo_root_file, Bench};
+
+/// Items per kernel invocation: large enough to split 8 ways per
+/// worker at default grain, small enough that one sample holds many
+/// invocations.
+const N: usize = 1 << 17;
+
+/// Explicit leaf sizes for the grain sweep (items per leaf).
+const GRAINS: [usize; 3] = [64, 1024, 16 * 1024];
+
+fn main() {
+    let mut b = Bench::from_args();
+    let workers = default_workers();
+    let mut pool: Pool = Pool::with_config(PoolConfig::with_workers(workers));
+    let default_grain = wool_par::adaptive_grain(N, workers, 1);
+    println!("par_loops: n = {N}, workers = {workers}, default grain = {default_grain}");
+
+    // --- map kernel -------------------------------------------------
+    let mut xs = vec![1u64; N];
+    b.bench("par_loops/map/seq", || map_seq(&mut xs));
+    b.bench("par_loops/map/hand/default", || {
+        pool.run(|h| map_hand(h, &mut xs, default_grain));
+    });
+    b.bench("par_loops/map/wool-par/default", || {
+        pool.run(|h| map_par(h, &mut xs));
+    });
+    for g in GRAINS {
+        b.bench(&format!("par_loops/map/hand/grain{g}"), || {
+            pool.run(|h| map_hand(h, &mut xs, g));
+        });
+        b.bench(&format!("par_loops/map/wool-par/grain{g}"), || {
+            pool.run(|h| map_par_grain(h, &mut xs, g));
+        });
+    }
+
+    // --- reduce kernel (dot product) --------------------------------
+    let ys: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let zs: Vec<u64> = (0..N as u64).rev().collect();
+    let expect = dot_seq(&ys, &zs);
+    b.bench("par_loops/reduce/seq", || {
+        assert_eq!(dot_seq(&ys, &zs), expect);
+    });
+    b.bench("par_loops/reduce/hand/default", || {
+        assert_eq!(pool.run(|h| dot_hand(h, &ys, &zs, default_grain)), expect);
+    });
+    b.bench("par_loops/reduce/wool-par/default", || {
+        assert_eq!(pool.run(|h| dot_par(h, &ys, &zs)), expect);
+    });
+    for g in GRAINS {
+        b.bench(&format!("par_loops/reduce/hand/grain{g}"), || {
+            assert_eq!(pool.run(|h| dot_hand(h, &ys, &zs, g)), expect);
+        });
+        b.bench(&format!("par_loops/reduce/wool-par/grain{g}"), || {
+            assert_eq!(pool.run(|h| dot_par_grain(h, &ys, &zs, g)), expect);
+        });
+    }
+
+    b.finish();
+    b.write_json(&repo_root_file("BENCH_par_loops.json"));
+}

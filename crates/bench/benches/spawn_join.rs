@@ -2,7 +2,7 @@
 //! path) under every join strategy, plus the serial call baseline.
 
 use wool_core::{Fork, LockedBase, Pool, PoolConfig, Strategy, SyncOnTask, TaskSpecific, WoolFull};
-use ws_bench::microbench::Bench;
+use ws_bench::microbench::{repo_root_file, Bench};
 
 fn fib<C: Fork>(c: &mut C, n: u64) -> u64 {
     if n < 2 {
@@ -44,4 +44,5 @@ fn main() {
     bench_strategy::<WoolFull>(&mut b, "spawn_join", true);
     bench_strategy::<WoolFull>(&mut b, "spawn_join", false);
     b.finish();
+    b.write_json(&repo_root_file("BENCH_spawn_join.json"));
 }

@@ -18,18 +18,40 @@
 //! A positional CLI argument filters benchmarks by substring, matching
 //! `cargo bench -- <filter>` usage.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Number of timed samples per benchmark.
-const SAMPLES: usize = 12;
+use minijson::Json;
+
+/// Number of timed samples per benchmark (also the run count behind
+/// the JSON trajectory's median/p10/p90).
+pub const SAMPLES: usize = 12;
 /// Target wall-clock duration of one sample.
 const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Timing summary of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Fastest sample.
+    pub best_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 10th-percentile sample (nearest rank).
+    pub p10_ns: f64,
+    /// 90th-percentile sample (nearest rank).
+    pub p90_ns: f64,
+    /// Iterations per sample (from calibration).
+    pub iters: u64,
+}
 
 /// Collects and reports benchmark timings.
 #[derive(Default)]
 pub struct Bench {
     filter: Option<String>,
     ran: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Bench {
@@ -44,7 +66,11 @@ impl Bench {
             }
             filter = Some(a);
         }
-        Bench { filter, ran: 0 }
+        Bench {
+            filter,
+            ran: 0,
+            results: Vec::new(),
+        }
     }
 
     /// Runs one benchmark unless filtered out.
@@ -85,11 +111,59 @@ impl Bench {
 
         let best = per_iter[0];
         let median = per_iter[SAMPLES / 2];
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            best_ns: best,
+            median_ns: median,
+            p10_ns: per_iter[(SAMPLES - 1) * 10 / 100],
+            p90_ns: per_iter[(SAMPLES - 1) * 90 / 100],
+            iters,
+        });
         println!(
             "{name:<44} {:>12}/iter  (median {}, {iters} iters x {SAMPLES} samples)",
             fmt_ns(best),
             fmt_ns(median),
         );
+    }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes the recorded results as the machine-readable
+    /// trajectory format future PRs diff against: an object with the
+    /// sampling parameters and one entry per benchmark carrying
+    /// median/p10/p90/best nanoseconds per iteration.
+    pub fn to_json(&self) -> Json {
+        let benchmarks = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(r.name.clone())),
+                    ("median_ns".into(), Json::Num(r.median_ns)),
+                    ("p10_ns".into(), Json::Num(r.p10_ns)),
+                    ("p90_ns".into(), Json::Num(r.p90_ns)),
+                    ("best_ns".into(), Json::Num(r.best_ns)),
+                    ("iters".into(), Json::Num(r.iters as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("samples_per_benchmark".into(), Json::Num(SAMPLES as f64)),
+            ("benchmarks".into(), Json::Arr(benchmarks)),
+        ])
+    }
+
+    /// Writes [`to_json`](Bench::to_json) to `path` (pretty-printed).
+    /// Errors are reported, not fatal: a read-only checkout must not
+    /// fail the bench run itself.
+    pub fn write_json(&self, path: &Path) {
+        match std::fs::write(path, self.to_json().pretty() + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
     }
 
     /// Prints a footer; call after the last benchmark.
@@ -98,6 +172,16 @@ impl Bench {
             println!("(no benchmarks matched the filter)");
         }
     }
+}
+
+/// Absolute path of `file` at the repository root (two levels above
+/// this crate), where the `BENCH_*.json` perf trajectories live.
+pub fn repo_root_file(file: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench lives at <root>/crates/bench")
+        .join(file)
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -120,12 +204,52 @@ mod tests {
     fn filter_skips_nonmatching() {
         let mut b = Bench {
             filter: Some("match-me".into()),
-            ran: 0,
+            ..Bench::default()
         };
         let mut hits = 0;
         b.bench("other/benchmark", || hits += 1);
         assert_eq!(hits, 0);
         assert_eq!(b.ran, 0);
+        assert!(b.results().is_empty());
+    }
+
+    #[test]
+    fn records_ordered_stats_and_json() {
+        let mut b = Bench::default();
+        b.bench("fast/stats", || {
+            std::hint::black_box(1 + 1);
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.name, "fast/stats");
+        assert!(r.best_ns <= r.p10_ns && r.p10_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p90_ns);
+        assert!(r.iters >= 1);
+
+        let json = b.to_json();
+        assert_eq!(
+            json.get("samples_per_benchmark").and_then(|j| j.as_u64()),
+            Some(SAMPLES as u64)
+        );
+        let arr = json.get("benchmarks").and_then(|j| j.as_array()).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("name").and_then(|j| j.as_str()),
+            Some("fast/stats")
+        );
+        // Round-trips through the parser.
+        let parsed = minijson::parse(&json.pretty()).unwrap();
+        assert!(parsed.get("benchmarks").is_some());
+    }
+
+    #[test]
+    fn repo_root_file_points_above_crates() {
+        let p = repo_root_file("BENCH_x.json");
+        let root = p.parent().unwrap();
+        assert!(
+            root.join("crates").is_dir(),
+            "{} has no crates/",
+            root.display()
+        );
     }
 
     #[test]

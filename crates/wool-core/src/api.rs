@@ -40,6 +40,20 @@ pub trait Fork: Sized {
     fn num_workers(&self) -> usize {
         1
     }
+
+    /// The executor's configured minimum data-parallel leaf grain
+    /// (`wool-par`'s splitting floor; see `PoolConfig::min_grain`).
+    /// Executors without the knob report 1 (no floor).
+    fn min_grain(&self) -> usize {
+        1
+    }
+
+    /// Scheduler hint from a data-parallel splitter: a range of `len`
+    /// items is about to be forked in half. Tracing executors record
+    /// it; the default is a no-op.
+    fn note_split(&mut self, len: usize) {
+        let _ = len;
+    }
 }
 
 impl<S: Strategy> Fork for WorkerHandle<S> {
@@ -68,6 +82,15 @@ impl<S: Strategy> Fork for WorkerHandle<S> {
 
     fn num_workers(&self) -> usize {
         WorkerHandle::num_workers(self)
+    }
+
+    fn min_grain(&self) -> usize {
+        WorkerHandle::min_grain(self)
+    }
+
+    #[inline(always)]
+    fn note_split(&mut self, len: usize) {
+        WorkerHandle::note_split(self, len)
     }
 }
 

@@ -57,6 +57,14 @@ pub struct PoolConfig {
     /// (`wool-serve`), in jobs; rounded up to a power of two. Batch
     /// pools never allocate or touch the injector.
     pub injector_capacity: usize,
+    /// Minimum leaf size for data-parallel splitting (`wool-par`), in
+    /// items: the adaptive splitter never produces a sequential leaf
+    /// smaller than this. This is the pool-wide floor of the paper's
+    /// task granularity `G_T = T_S / N_T` — raising it trades potential
+    /// parallelism for lower per-task overhead. Must be at least 1
+    /// (1 = no floor; the splitter's own worker-count heuristic
+    /// dominates).
+    pub min_grain: usize,
 }
 
 impl Default for PoolConfig {
@@ -77,6 +85,7 @@ impl Default for PoolConfig {
             idle_yield: 64,
             park_timeout_us: 200,
             injector_capacity: 1024,
+            min_grain: 1,
         }
     }
 }
@@ -157,18 +166,31 @@ impl PoolConfig {
         self
     }
 
+    /// Builder-style: sets the minimum data-parallel leaf grain.
+    pub fn min_grain(mut self, items: usize) -> Self {
+        self.min_grain = items;
+        self
+    }
+
     /// Validates the configuration, normalizing degenerate values.
     ///
     /// # Panics
     /// Panics when `workers == 0`: a pool needs at least one worker —
     /// there is no thread that could ever run a task. (Both
     /// `Pool::with_config` and `wool-serve`'s `ServePool::start` funnel
-    /// through here, so the rejection is uniform.)
+    /// through here, so the rejection is uniform.) Likewise panics when
+    /// `min_grain == 0`: a zero-item leaf could never terminate the
+    /// splitter's recursion.
     pub fn validated(mut self) -> Self {
         assert!(
             self.workers >= 1,
             "invalid PoolConfig: workers == 0, but a pool needs at least one worker \
              (use PoolConfig::with_workers(n) with n >= 1, or default_workers())"
+        );
+        assert!(
+            self.min_grain >= 1,
+            "invalid PoolConfig: min_grain == 0, but a data-parallel leaf must hold \
+             at least one item (use min_grain(1) for no floor)"
         );
         assert!(
             self.workers <= crate::slot::STOLEN_BASE.max(1 << 16),
@@ -255,6 +277,20 @@ mod tests {
         assert_eq!(c.idle_yield, 128);
         assert_eq!(c.park_timeout_us, 1000);
         assert_eq!(c.injector_capacity, 3, "rounded later, by the queue");
+    }
+
+    #[test]
+    fn min_grain_defaults_and_builds() {
+        let c = PoolConfig::default().validated();
+        assert_eq!(c.min_grain, 1);
+        let c = PoolConfig::with_workers(2).min_grain(128).validated();
+        assert_eq!(c.min_grain, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_grain == 0")]
+    fn zero_min_grain_rejected() {
+        let _ = PoolConfig::with_workers(1).min_grain(0).validated();
     }
 
     #[test]

@@ -127,6 +127,7 @@ pub struct WorkerHandle<S: Strategy> {
     trip_distance: usize,
     publish_batch: usize,
     force_publish_all: bool,
+    min_grain: usize,
     _strategy: PhantomData<S>,
     _not_send: PhantomData<*mut ()>,
 }
@@ -146,6 +147,7 @@ impl<S: Strategy> WorkerHandle<S> {
             trip_distance: pool.cfg.trip_distance,
             publish_batch: pool.cfg.publish_batch,
             force_publish_all: pool.cfg.force_publish_all,
+            min_grain: pool.cfg.min_grain,
             _strategy: PhantomData,
             _not_send: PhantomData,
         }
@@ -195,6 +197,26 @@ impl<S: Strategy> WorkerHandle<S> {
     #[inline(always)]
     pub fn num_workers(&self) -> usize {
         self.pool().workers.len()
+    }
+
+    /// The pool's configured minimum data-parallel leaf grain
+    /// ([`crate::PoolConfig::min_grain`]).
+    #[inline(always)]
+    pub fn min_grain(&self) -> usize {
+        self.min_grain
+    }
+
+    /// Records a data-parallel split (a range of `_len` items about to
+    /// be forked in half) in the worker's trace ring. A no-op without
+    /// the `trace` cargo feature.
+    #[inline(always)]
+    pub fn note_split(&mut self, _len: usize) {
+        // SAFETY: `own()` contract — owner thread, short-lived borrow
+        // not held across user code.
+        #[cfg(feature = "trace")]
+        unsafe {
+            trace_ev!(self, Split, _len.min(u32::MAX as usize));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -561,6 +583,14 @@ impl<S: Strategy> WorkerHandle<S> {
         wkr.lock.lock();
         // relaxed-ok: `bot` is lock-protected in this strategy.
         wkr.bot.store(k, Relaxed);
+        // Leap-frogged executions spawn on this stack while we waited:
+        // their pushes raised `top_shared` and their joins lowered it
+        // only back to `k + 1` (the lowest nested slot). Left there,
+        // `bot = k < top_shared` would re-expose the consumed slot `k`
+        // as stealable. Re-lower it with `bot`, under the same lock.
+        // relaxed-ok: `top_shared` is read under this lock in this
+        // strategy; the lock's edges order the store.
+        wkr.top_shared.store(k, Relaxed);
         wkr.lock.unlock();
         self.finish_stolen::<B>(slot, s, instr)
     }

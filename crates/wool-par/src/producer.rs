@@ -1,0 +1,192 @@
+//! Splittable sources of items.
+//!
+//! A [`Producer`] is the crate's internal model of "a range of work
+//! that can be cut in two": the adaptive splitter (see
+//! [`crate::adaptive_grain`]) halves producers until they fit the
+//! sequential cutoff, then drains the leaf with a plain loop — no
+//! scheduler involvement below the cutoff.
+
+/// A splittable, exactly-sized source of items.
+///
+/// Implementors promise that `split_at(i)` partitions the items: the
+/// left part yields the first `i`, the right part the rest, with no
+/// duplication — that is what lets `for_each` over a mutable slice
+/// hand disjoint `&mut` items to concurrently executing leaves.
+pub trait Producer: Sized + Send {
+    /// The item type this producer yields.
+    type Item;
+
+    /// Number of items remaining.
+    fn len(&self) -> usize;
+
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `index` items and the rest.
+    ///
+    /// `index` must be `<= len()`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drains the producer sequentially, folding every item into `acc`.
+    /// This is the leaf loop: it must not spawn.
+    fn fold_seq<A, F: FnMut(A, Self::Item) -> A>(self, acc: A, f: F) -> A;
+}
+
+/// Producer over `lo..hi` indices.
+#[derive(Debug, Clone)]
+pub struct RangeProducer {
+    lo: usize,
+    hi: usize,
+}
+
+impl RangeProducer {
+    /// Wraps a `Range<usize>` (empty if `start >= end`).
+    pub fn new(r: std::ops::Range<usize>) -> Self {
+        RangeProducer {
+            lo: r.start,
+            hi: r.end.max(r.start),
+        }
+    }
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        debug_assert!(index <= self.len());
+        let mid = self.lo + index;
+        (
+            RangeProducer {
+                lo: self.lo,
+                hi: mid,
+            },
+            RangeProducer {
+                lo: mid,
+                hi: self.hi,
+            },
+        )
+    }
+
+    #[inline]
+    fn fold_seq<A, F: FnMut(A, usize) -> A>(self, mut acc: A, mut f: F) -> A {
+        for i in self.lo..self.hi {
+            acc = f(acc, i);
+        }
+        acc
+    }
+}
+
+/// Producer over a shared slice, yielding `&T`.
+#[derive(Debug)]
+pub struct SliceProducer<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T> SliceProducer<'a, T> {
+    /// Wraps a slice.
+    pub fn new(s: &'a [T]) -> Self {
+        SliceProducer { s }
+    }
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.s.split_at(index);
+        (SliceProducer { s: l }, SliceProducer { s: r })
+    }
+
+    #[inline]
+    fn fold_seq<A, F: FnMut(A, &'a T) -> A>(self, mut acc: A, mut f: F) -> A {
+        for x in self.s {
+            acc = f(acc, x);
+        }
+        acc
+    }
+}
+
+/// Producer over a mutable slice, yielding `&mut T`.
+#[derive(Debug)]
+pub struct SliceMutProducer<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T> SliceMutProducer<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(s: &'a mut [T]) -> Self {
+        SliceMutProducer { s }
+    }
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.s.split_at_mut(index);
+        (SliceMutProducer { s: l }, SliceMutProducer { s: r })
+    }
+
+    #[inline]
+    fn fold_seq<A, F: FnMut(A, &'a mut T) -> A>(self, mut acc: A, mut f: F) -> A {
+        for x in self.s {
+            acc = f(acc, x);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_splits_and_folds() {
+        let p = RangeProducer::new(10..20);
+        assert_eq!(p.len(), 10);
+        let (l, r) = p.split_at(4);
+        assert_eq!((l.len(), r.len()), (4, 6));
+        assert_eq!(l.fold_seq(0usize, |a, i| a + i), 10 + 11 + 12 + 13);
+        assert_eq!(r.fold_seq(0usize, |a, i| a + i), (14..20).sum());
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the inverted range IS the input under test
+    fn inverted_range_is_empty() {
+        let p = RangeProducer::new(5..3);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn slice_splits_and_folds() {
+        let xs = [1u64, 2, 3, 4, 5];
+        let p = SliceProducer::new(&xs);
+        let (l, r) = p.split_at(2);
+        assert_eq!(l.fold_seq(0u64, |a, x| a + x), 3);
+        assert_eq!(r.fold_seq(0u64, |a, x| a + x), 12);
+    }
+
+    #[test]
+    fn slice_mut_partitions_disjointly() {
+        let mut xs = [0u64; 6];
+        let p = SliceMutProducer::new(&mut xs);
+        let (l, r) = p.split_at(3);
+        l.fold_seq((), |(), x| *x = 1);
+        r.fold_seq((), |(), x| *x = 2);
+        assert_eq!(xs, [1, 1, 1, 2, 2, 2]);
+    }
+}

@@ -17,9 +17,9 @@ use std::cell::UnsafeCell;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 use wool_core::sync::atomic::AtomicU8;
 use wool_core::sync::atomic::Ordering::{Acquire, Release};
-use std::task::{Context, Poll, Waker};
 
 const PENDING: u8 = 0;
 const DONE: u8 = 1;

@@ -49,6 +49,8 @@ pub struct Analysis {
     pub publish_requests: u64,
     /// Leapfrog entries.
     pub leapfrogs: u64,
+    /// Data-parallel splits (`wool-par` fork points).
+    pub splits: u64,
     /// Histogram of intervals between consecutive successful steals by
     /// the same thief: bucket `i` counts intervals in
     /// `[2^i, 2^(i+1))` cycles (bucket 0 also holds 0-cycle intervals).
@@ -68,6 +70,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
     let mut backoffs = 0;
     let mut publish_requests = 0;
     let mut leapfrogs = 0;
+    let mut splits = 0;
     let mut hist = vec![0u64; 64];
     let mut max_bucket = 0;
 
@@ -80,6 +83,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
                 EventKind::Backoff => backoffs += 1,
                 EventKind::PublishRequest => publish_requests += 1,
                 EventKind::Leapfrog => leapfrogs += 1,
+                EventKind::Split => splits += 1,
                 EventKind::StealSuccess => {
                     *edges.entry((w.worker, e.arg as usize)).or_insert(0) += 1;
                     if let Some(prev) = last_steal {
@@ -120,6 +124,7 @@ pub fn analyze(trace: &Trace) -> Analysis {
         backoffs,
         publish_requests,
         leapfrogs,
+        splits,
         steal_interval_hist: hist,
         utilization: utilization(trace),
     }

@@ -112,7 +112,8 @@ fn category(kind: EventKind) -> &'static str {
         EventKind::Spawn
         | EventKind::JoinFastPrivate
         | EventKind::JoinFastPublic
-        | EventKind::JoinSlow => "task",
+        | EventKind::JoinSlow
+        | EventKind::Split => "task",
         EventKind::StealAttempt
         | EventKind::StealSuccess
         | EventKind::StealFail

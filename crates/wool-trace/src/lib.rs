@@ -93,11 +93,15 @@ pub enum EventKind {
     Dequeue = 15,
     /// A root job ran to completion on this worker. `arg` = job tag.
     JobDone = 16,
+    /// A data-parallel splitter (`wool-par`) forked a range in half.
+    /// `arg` = range length (in items) before the split, saturated to
+    /// `u32::MAX`.
+    Split = 17,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Spawn,
         EventKind::JoinFastPrivate,
         EventKind::JoinFastPublic,
@@ -115,6 +119,7 @@ impl EventKind {
         EventKind::Inject,
         EventKind::Dequeue,
         EventKind::JobDone,
+        EventKind::Split,
     ];
 
     /// Stable lowercase name used in exported JSON.
@@ -137,6 +142,7 @@ impl EventKind {
             EventKind::Inject => "inject",
             EventKind::Dequeue => "dequeue",
             EventKind::JobDone => "job_done",
+            EventKind::Split => "split",
         }
     }
 

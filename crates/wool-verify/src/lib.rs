@@ -20,7 +20,11 @@
 //!    parks — plus a deliberately broken variant the checker must catch.
 //!
 //! A fifth suite (`tests/spinlock_model.rs`) proves mutual exclusion and
-//! panic-safety of the TATAS [`wool_core::spinlock::SpinLock`].
+//! panic-safety of the TATAS [`wool_core::spinlock::SpinLock`], and a
+//! sixth (`tests/shared_top_model.rs`) models the shared-top
+//! (`LockedBase`) steal/join protocol, including the leap-frog
+//! `top_shared` restore regression found by `wool-par`'s property
+//! tests.
 //!
 //! The model suites are compiled only under `--cfg loom`:
 //!
